@@ -1,0 +1,114 @@
+"""MoE architecture sweep: how routing design changes VELA's value.
+
+The paper evaluates Mixtral-class models (8 experts, top-2).  This bench
+asks how the placement win generalizes across the MoE design space:
+
+* **Mixtral** (8 experts, top-2) — the paper's regime,
+* **Switch-style** (64 experts, top-1) — few selections, extreme skew
+  possible, tiny per-token traffic,
+* **DeepSeek-style** (64 fine-grained experts, top-6) — many selections per
+  token, diffuse load.
+
+It also measures the hierarchical solver against the flat LP where both run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table, percent
+from repro.cluster import ExpertMemoryModel, paper_cluster
+from repro.models import deepseek_moe_sim, mixtral_8x7b_sim, switch_xxl_sim
+from repro.placement import (HierarchicalPlacement, LocalityAwarePlacement,
+                             PlacementProblem, SequentialPlacement,
+                             expected_step_comm_time)
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+
+ARCHES = {
+    "mixtral-8x7b (top-2/8)": mixtral_8x7b_sim,
+    "switch-xxl (top-1/64)": switch_xxl_sim,
+    "deepseek-moe (top-6/64)": deepseek_moe_sim,
+}
+
+
+def build_problem(config, tokens=1920, seed=1):
+    topology = paper_cluster()
+    router = SyntheticRouter(config, WIKITEXT_REGIME, seed=seed)
+    capacities = ExpertMemoryModel().capacities(topology, config)
+    if sum(capacities) < config.total_experts:
+        # Switch/DeepSeek carry 6-7x Mixtral's expert count; model a cluster
+        # provisioned to the same relative tightness as the paper's (master
+        # GPU at ~1/3 of a worker's share, ~10% total slack).
+        share = config.total_experts // topology.num_workers
+        master_share = max(share // 3, 1)
+        worker_share = (config.total_experts - master_share) // \
+            (topology.num_workers - 1) + int(0.1 * share) + 1
+        capacities = [master_share] + [worker_share] * (topology.num_workers - 1)
+    return PlacementProblem(config=config, topology=topology,
+                            probability_matrix=router.probability_matrix(8192),
+                            tokens_per_step=tokens, capacities=capacities)
+
+
+def test_architecture_sweep(benchmark):
+    """Eq. (7) reduction of VELA vs sequential across MoE designs."""
+
+    def sweep():
+        rows = []
+        for name, factory in ARCHES.items():
+            problem = build_problem(factory())
+            vela = expected_step_comm_time(
+                LocalityAwarePlacement().place(problem), problem)
+            seq = expected_step_comm_time(
+                SequentialPlacement().place(problem), problem)
+            rows.append([name, seq * 1e3, vela * 1e3,
+                         percent(1 - vela / seq)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nArchitecture sweep (comm-time objective, WikiText regime):")
+    print(format_table(["architecture", "sequential (ms)", "vela (ms)",
+                        "reduction"], rows))
+    reductions = [float(r[3].rstrip("%")) for r in rows]
+    assert all(r > 0 for r in reductions)
+
+
+def test_hierarchical_vs_flat_at_scale(benchmark):
+    """Decomposed solve stays close to the flat LP, at lower solve cost."""
+    import time
+
+    config = switch_xxl_sim()
+    problem = build_problem(config, tokens=1024)
+
+    def run():
+        out = {}
+        for name, strategy in [("flat", LocalityAwarePlacement()),
+                               ("hierarchical", HierarchicalPlacement())]:
+            start = time.time()
+            placement = strategy.place(problem)
+            out[name] = (expected_step_comm_time(placement, problem),
+                         time.time() - start)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, obj * 1e3, solve * 1e3]
+            for name, (obj, solve) in results.items()]
+    print("\nFlat vs hierarchical at 1,536 experts (switch-xxl):")
+    print(format_table(["solver", "objective (ms)", "solve time (ms)"], rows))
+    flat_obj, _ = results["flat"]
+    hier_obj, _ = results["hierarchical"]
+    assert hier_obj <= 1.5 * flat_obj
+
+
+def test_top1_concentration_extreme(benchmark):
+    """Top-1 routing concentrates load harder than top-2 at equal skew."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mixtral_router = SyntheticRouter(mixtral_8x7b_sim(), WIKITEXT_REGIME,
+                                     seed=1)
+    switch_router = SyntheticRouter(switch_xxl_sim(), WIKITEXT_REGIME, seed=1)
+    mix_p = mixtral_router.probability_matrix(8192)
+    swi_p = switch_router.probability_matrix(8192)
+    # share of a layer's selections going to its single hottest expert
+    mix_top1 = float((np.sort(mix_p, axis=1)[:, -1] / mix_p.sum(axis=1)).mean())
+    swi_top1 = float((np.sort(swi_p, axis=1)[:, -1] / swi_p.sum(axis=1)).mean())
+    print(f"\nmean top-1 expert share: mixtral {percent(mix_top1)}, "
+          f"switch {percent(swi_top1)}")
+    assert 0 < mix_top1 < 1 and 0 < swi_top1 < 1

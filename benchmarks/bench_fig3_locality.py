@@ -1,0 +1,76 @@
+"""Fig. 3 — expert locality on a live fine-tuned MoE model.
+
+Regenerates the paper's three Section III measurements on the TinyMistral-
+topology model (12 blocks x 6 experts, top-2) fine-tuned on the synthetic
+Tiny-Shakespeare corpus:
+
+* Fig. 3(a): per-layer expert access frequencies are imbalanced.
+* Fig. 3(b): the CDF of selected softmax-score sums — nearly all above 0.5,
+  the majority above 0.7.
+* Fig. 3(c): access frequencies stay stable across fine-tuning steps, and
+  the measured drift respects the Theorem 1 sensitivity bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_locality_experiment
+from repro.bench.report import format_table, heatmap, series_panel
+
+FINETUNE_STEPS = 120
+PRETRAIN_STEPS = 40
+
+_experiment = {}
+
+
+def experiment():
+    if "exp" not in _experiment:
+        _experiment["exp"] = run_locality_experiment(
+            finetune_steps=FINETUNE_STEPS, pretrain_steps=PRETRAIN_STEPS,
+            seed=0)
+    return _experiment["exp"]
+
+
+def test_fig3a_access_frequency(benchmark):
+    """Fig. 3(a): expert access frequency per layer is visibly imbalanced."""
+    exp = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    p = exp.profile.probability_matrix
+    print("\nFig. 3(a) — expert access frequency (layers x experts):")
+    print(heatmap(p, row_label="L", max_value=1.0))
+    rows = [[layer, *np.round(p[layer], 3).tolist()] for layer in range(len(p))]
+    print(format_table(["layer"] + [f"e{e}" for e in range(p.shape[1])], rows))
+    # every layer shows meaningful disparity between experts
+    disparity = p.max(axis=1) - p.min(axis=1)
+    assert np.all(disparity > 0.05)
+    assert exp.profile.imbalance_ratio(0) > 2.0
+
+
+def test_fig3b_score_cdf(benchmark):
+    """Fig. 3(b): selected-score sums — all > ~0.5, majority > 0.7."""
+    exp = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    scores, cdf = exp.profile.score_cdf()
+    print("\nFig. 3(b) — cumulative distribution of selected score sums:")
+    for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+        print(f"  quantile {q:.2f}: {np.quantile(scores, q):.3f}")
+    assert exp.profile.fraction_above(0.5) > 0.95
+    assert exp.profile.fraction_above(0.7) > 0.6
+
+
+def test_fig3c_stability(benchmark):
+    """Fig. 3(c): access frequencies stay flat through fine-tuning."""
+    exp = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    freq = exp.access_over_time  # (steps, experts)
+    print("\nFig. 3(c) — block-0 access frequency over fine-tuning steps:")
+    print(series_panel({f"expert {e}": freq[:, e]
+                        for e in range(freq.shape[1])}))
+    assert exp.frequency_drift() < 0.06
+    # Theorem 1: measured drift never exceeds the sensitivity bound.
+    assert exp.stability.violations == 0
+
+
+def test_theorem1_bound_is_informative(benchmark):
+    """The bound tracks the drift (it is not vacuously loose everywhere)."""
+    exp = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = exp.stability
+    assert np.all(report.per_step_max_drift <= report.per_step_bound + 1e-9)
+    assert report.per_step_bound.max() < 1.0  # non-vacuous

@@ -1,0 +1,72 @@
+"""Fig. 6 — average time per fine-tuning step under each strategy.
+
+Paper's measured shape: conventional expert parallelism is slowed by its
+per-block status synchronization; VELA's master-worker framework plus
+locality-aware placement accelerates each step by 20.6 % (Mixtral/Alpaca)
+to 28.2 % (Mixtral/WikiText) versus EP.
+"""
+
+import pytest
+
+from conftest import comparison
+from repro.bench.report import format_table, percent
+
+
+def print_cell(exp):
+    print(f"\nFig. 6 — average step time, {exp.workload_name}:")
+    rows = [[name, t] for name, t in exp.step_times().items()]
+    print(format_table(["strategy", "avg step time (s)"], rows))
+    print(f"vela vs EP: -{percent(exp.time_reduction_vs_ep())}")
+
+
+def check_shape(exp, low, high):
+    times = exp.step_times()
+    assert times["vela"] == min(times.values())
+    red = exp.time_reduction_vs_ep()
+    assert low < red < high, f"time reduction {red:.3f} outside [{low}, {high}]"
+
+
+def test_fig6a_mixtral_wikitext(benchmark, mixtral_wikitext):
+    exp = benchmark.pedantic(lambda: mixtral_wikitext, rounds=1, iterations=1)
+    print_cell(exp)
+    check_shape(exp, 0.18, 0.40)
+
+
+def test_fig6b_mixtral_alpaca(benchmark, mixtral_alpaca):
+    exp = benchmark.pedantic(lambda: mixtral_alpaca, rounds=1, iterations=1)
+    print_cell(exp)
+    check_shape(exp, 0.12, 0.32)
+
+
+def test_fig6c_gritlm_wikitext(benchmark, gritlm_wikitext):
+    exp = benchmark.pedantic(lambda: gritlm_wikitext, rounds=1, iterations=1)
+    print_cell(exp)
+    check_shape(exp, 0.15, 0.42)
+
+
+def test_fig6d_gritlm_alpaca(benchmark, gritlm_alpaca):
+    exp = benchmark.pedantic(lambda: gritlm_alpaca, rounds=1, iterations=1)
+    print_cell(exp)
+    check_shape(exp, 0.10, 0.35)
+
+
+def test_ep_sync_overhead_is_the_framework_gap(benchmark, mixtral_wikitext):
+    """The paper attributes EP's slowness to synchronized all-to-all: the
+    sync time must be a material share of EP's step."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ep = mixtral_wikitext.runs["expert_parallel"]
+    sync = sum(s.sync_time for s in ep.steps) / ep.num_steps
+    assert sync > 0.1  # hundreds of ms per step across 64 block-passes
+
+    # Master-worker framework pays no sync at all.
+    seq = mixtral_wikitext.runs["sequential"]
+    assert all(s.sync_time == 0 for s in seq.steps)
+
+
+def test_time_reduction_exceeds_traffic_reduction_wikitext(benchmark,
+                                                           mixtral_wikitext):
+    """Paper: the 28.2 % speedup is *greater* than the 25 % traffic cut
+    "due to the architectural difference" (no sync in master-worker)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert mixtral_wikitext.time_reduction_vs_ep() > \
+        mixtral_wikitext.traffic_reduction_vs_ep()

@@ -1,0 +1,105 @@
+"""Profiling-budget study: how many tokens before the placement converges?
+
+The paper's pre-fine-tuning measurement pass has a cost the evaluation never
+quantifies.  This bench sweeps the budget and reports placement regret
+(objective under the *true* profile of the placement planned from the
+estimate), answering "how long must the profiling pass be?".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table, percent
+from repro.cluster import ExpertMemoryModel, paper_cluster
+from repro.models import mixtral_8x7b_sim
+from repro.placement import PlacementProblem
+from repro.routing import (SyntheticRouter, WIKITEXT_REGIME,
+                           profile_budget_study, standard_error)
+
+
+def test_profile_budget_sweep(benchmark):
+    config = mixtral_8x7b_sim()
+    topology = paper_cluster()
+    router = SyntheticRouter(config, WIKITEXT_REGIME, seed=1)
+    template = PlacementProblem(
+        config=config, topology=topology,
+        probability_matrix=router.probability_matrix(1024),
+        tokens_per_step=1920,
+        capacities=ExpertMemoryModel().capacities(topology, config))
+    budgets = [128, 512, 2048, 8192, 32768]
+    points = benchmark.pedantic(
+        profile_budget_study, (router, template, budgets),
+        {"trials": 3, "seed": 0}, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        se = standard_error(
+            np.full((1, 1), 0.25), point.profile_tokens)[0, 0]
+        rows.append([point.profile_tokens, point.mean_objective * 1e3,
+                     percent(max(point.mean_regret, 0)), f"{se:.3f}"])
+    print("\nProfiling-budget sweep (Mixtral/WikiText, regret vs true "
+          "profile):")
+    print(format_table(["profile tokens", "objective (ms)", "regret",
+                        "typical SE of P"], rows))
+
+    regrets = [p.mean_regret for p in points]
+    # More profiling can't hurt (allowing sampling noise at adjacent sizes).
+    assert regrets[-1] <= regrets[0] + 1e-9
+    # The paper's default (8192 tokens) is comfortably converged.
+    assert regrets[3] < 0.05
+
+
+def test_small_budget_placement_still_beats_oblivious(benchmark):
+    """Even a 128-token profile beats locality-oblivious placement."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.placement import (LocalityAwarePlacement, SequentialPlacement,
+                                 expected_step_comm_time)
+
+    config = mixtral_8x7b_sim()
+    topology = paper_cluster()
+    router = SyntheticRouter(config, WIKITEXT_REGIME, seed=1)
+    capacities = ExpertMemoryModel().capacities(topology, config)
+    truth = router.probability_matrix(100_000, seed=77)
+    true_problem = PlacementProblem(config=config, topology=topology,
+                                    probability_matrix=truth,
+                                    tokens_per_step=1920,
+                                    capacities=capacities)
+    estimate = router.probability_matrix(128, seed=5)
+    est_problem = PlacementProblem(config=config, topology=topology,
+                                   probability_matrix=estimate,
+                                   tokens_per_step=1920,
+                                   capacities=capacities)
+    vela_from_tiny_profile = expected_step_comm_time(
+        LocalityAwarePlacement().place(est_problem), true_problem)
+    oblivious = expected_step_comm_time(
+        SequentialPlacement().place(true_problem), true_problem)
+    print(f"\n128-token-profile vela: {vela_from_tiny_profile * 1e3:.1f} ms; "
+          f"sequential: {oblivious * 1e3:.1f} ms")
+    assert vela_from_tiny_profile < oblivious
+
+
+def test_bandwidth_probe_noise(benchmark):
+    """How much iperf-style measurement noise can the LP inputs absorb?"""
+    from repro.cluster import ExpertMemoryModel, bandwidth_noise_study
+
+    config = mixtral_8x7b_sim()
+    topology = paper_cluster()
+    router = SyntheticRouter(config, WIKITEXT_REGIME, seed=1)
+    problem = PlacementProblem(
+        config=config, topology=topology,
+        probability_matrix=router.probability_matrix(8192),
+        tokens_per_step=1920,
+        capacities=ExpertMemoryModel().capacities(topology, config))
+    sigmas = [0.0, 0.1, 0.3, 0.6, 1.0]
+    points = benchmark.pedantic(bandwidth_noise_study,
+                                (problem, sigmas),
+                                {"samples": 5, "trials": 3, "seed": 0},
+                                rounds=1, iterations=1)
+    rows = [[p.sigma, p.mean_objective * 1e3, percent(max(p.regret, 0))]
+            for p in points]
+    print("\nBandwidth-probe noise sweep (placement regret vs true B_n):")
+    print(format_table(["probe sigma", "objective (ms)", "regret"], rows))
+    assert points[0].regret == pytest.approx(0.0, abs=1e-9)
+    # The paper's 15.6x bandwidth gap dwarfs realistic probe noise: even at
+    # sigma=0.3 the placement stays near-optimal.
+    assert points[2].regret < 0.10

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's figures; traces and comparison runs are
+cached at session scope so Fig. 5 (traffic) and Fig. 6 (step time) share one
+simulation per (model, dataset) cell, exactly as one physical run would
+produce both measurements.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.bench import paper_workload, run_comparison_experiment
+
+# Steps per simulated fine-tuning run.  The paper uses 500; 120 keeps the
+# full benchmark suite in CI range while preserving per-step dynamics.
+BENCH_STEPS = 120
+SEED = 1
+
+_cache = {}
+
+
+def comparison(model: str, dataset: str):
+    """Run (or fetch) the four-strategy comparison for one figure cell."""
+    key = (model, dataset)
+    if key not in _cache:
+        _cache[key] = run_comparison_experiment(model, dataset,
+                                                num_steps=BENCH_STEPS,
+                                                seed=SEED)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def mixtral_wikitext():
+    return comparison("mixtral", "wikitext")
+
+
+@pytest.fixture(scope="session")
+def mixtral_alpaca():
+    return comparison("mixtral", "alpaca")
+
+
+@pytest.fixture(scope="session")
+def gritlm_wikitext():
+    return comparison("gritlm", "wikitext")
+
+
+@pytest.fixture(scope="session")
+def gritlm_alpaca():
+    return comparison("gritlm", "alpaca")

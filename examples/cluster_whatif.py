@@ -1,0 +1,115 @@
+"""What-if cluster studies: how VELA behaves beyond the paper's testbed.
+
+Uses the cost models to answer deployment questions a practitioner would
+ask before renting hardware:
+
+* does the win survive on a single fat node? (no cross-node links -> mostly)
+* how does it scale to more nodes?
+* what if the interconnect is upgraded (bandwidth-ratio sweep)?
+* how tight can GPU memory get before placement freedom vanishes?
+
+Run:  python examples/cluster_whatif.py
+"""
+
+import numpy as np
+
+from repro import VelaConfig, compare_strategies, reduction_vs
+from repro.bench.report import format_table, percent
+from repro.cluster import (ClusterTopology, ExpertMemoryModel,
+                           bandwidth_ratio_cluster, paper_cluster)
+from repro.models import mixtral_8x7b_sim
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+
+
+def run_cell(topology, capacities=None, steps=15, seed=1):
+    model = mixtral_8x7b_sim()
+    config = VelaConfig(model=model, topology=topology,
+                        capacities=capacities)
+    router = SyntheticRouter(model, WIKITEXT_REGIME, seed=seed)
+    probability = router.probability_matrix(config.profile_tokens)
+    trace = router.generate_trace(steps, config.tokens_per_step)
+    results = compare_strategies(config, trace, probability)
+    return (reduction_vs(results, "avg_external_traffic_mb_per_node"),
+            reduction_vs(results, "avg_step_time_s"),
+            results["vela"].avg_step_time())
+
+
+def topology_sweep() -> None:
+    print("=== topology sweep (vs expert parallelism) ===")
+    rows = []
+    cells = [
+        ("paper: 3 nodes x 2 V100", paper_cluster(), None),
+        ("2 nodes x 3 V100", ClusterTopology(2, 3), None),
+        ("6 nodes x 1 V100", ClusterTopology(6, 1), None),
+    ]
+    for label, topology, caps in cells:
+        traffic_red, time_red, vela_time = run_cell(topology, caps)
+        rows.append([label, percent(traffic_red), percent(time_red),
+                     f"{vela_time:.2f}s"])
+    print(format_table(
+        ["cluster", "traffic reduction", "time reduction", "vela step"],
+        rows))
+
+
+def bandwidth_sweep() -> None:
+    print("\n=== interconnect upgrade sweep (intra/cross ratio) ===")
+    rows = []
+    for ratio in (1.0, 4.0, 15.6, 40.0):
+        topology = bandwidth_ratio_cluster(ratio=ratio)
+        caps = ExpertMemoryModel().capacities(topology, mixtral_8x7b_sim())
+        traffic_red, time_red, _ = run_cell(topology, caps)
+        rows.append([f"{ratio:g}x", percent(traffic_red), percent(time_red)])
+    print(format_table(["bandwidth ratio", "traffic reduction",
+                        "time reduction"], rows))
+    print("(ratio 15.6x is the paper's measured environment)")
+
+
+def capacity_sweep() -> None:
+    print("\n=== GPU memory pressure sweep ===")
+    rows = []
+    for label, caps in [("generous (64/GPU)", [64] * 6),
+                        ("paper-like (auto)", None),
+                        ("exact fit (43/GPU)", [43] * 6)]:
+        traffic_red, time_red, _ = run_cell(paper_cluster(), caps)
+        rows.append([label, percent(traffic_red), percent(time_red)])
+    print(format_table(["capacity", "traffic reduction", "time reduction"],
+                       rows))
+
+
+def planner_demo() -> None:
+    """Which cluster should I rent for a target step time?"""
+    from repro.core import ClusterOption, ClusterPlanner
+
+    print("\n=== capacity planner: cheapest cluster for a step-time target ===")
+    model = mixtral_8x7b_sim()
+    router = SyntheticRouter(model, WIKITEXT_REGIME, seed=1)
+    profile = router.probability_matrix(8192)
+    trace = router.generate_trace(4, 1920)
+    planner = ClusterPlanner(model)
+    options = (ClusterOption(1, 4), ClusterOption(2, 2), ClusterOption(3, 2),
+               ClusterOption(2, 4), ClusterOption(4, 4))
+    rows = []
+    for result in planner.survey(profile, trace, options=options):
+        rows.append([result.option.label, result.gpus,
+                     "yes" if result.feasible else f"no ({result.reason})",
+                     f"{result.avg_step_time_s:.2f}s"
+                     if result.feasible else "-"])
+    print(format_table(["cluster", "GPUs", "feasible", "step time"], rows))
+    pick = planner.recommend(profile, trace, target_step_time_s=1.5,
+                             options=options)
+    if pick is not None:
+        print(f"recommendation for <=1.5 s/step: {pick.option.label} "
+              f"({pick.avg_step_time_s:.2f}s)")
+    else:
+        print("no option meets 1.5 s/step; relax the target or add GPUs")
+
+
+def main() -> None:
+    topology_sweep()
+    bandwidth_sweep()
+    capacity_sweep()
+    planner_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Analyze expert locality across datasets and skew levels (Fig. 7 + theory).
+
+* renders the Mixtral access heatmaps for the WikiText and Alpaca regimes,
+* sweeps the skew axis to show where locality-aware placement stops paying,
+* demonstrates Theorem 1 numerically: confident gates barely move under
+  perturbation, uncertain gates move the most.
+
+Run:  python examples/locality_analysis.py
+"""
+
+import numpy as np
+
+from repro.bench import run_heatmap_experiment
+from repro.bench.report import format_table, heatmap, percent
+from repro.cluster import ExpertMemoryModel, paper_cluster
+from repro.models import mixtral_8x7b_sim
+from repro.placement import (LocalityAwarePlacement, PlacementProblem,
+                             SequentialPlacement, expected_step_comm_time)
+from repro.routing import (SyntheticRouter, regime_with_alpha,
+                           softmax_sensitivity_bound, theorem1_bound)
+
+
+def show_heatmaps() -> None:
+    for dataset in ("wikitext", "alpaca"):
+        exp = run_heatmap_experiment("mixtral", dataset, seed=1)
+        print(f"\n=== {exp.workload_name} access heatmap "
+              f"(experts x layers) ===")
+        print(heatmap(exp.probability_matrix.T, row_label="e",
+                      col_label="layer", max_value=1.0))
+        print(f"top-2 expert share: {percent(exp.hot_expert_share(2))}, "
+              f"normalized entropy: {exp.concentration():.3f}")
+
+
+def skew_sweep() -> None:
+    config = mixtral_8x7b_sim()
+    topology = paper_cluster()
+    capacities = ExpertMemoryModel().capacities(topology, config)
+    rows = []
+    for alpha in (0.5, 1.0, 2.0, 4.0, 8.0, 20.0, 50.0):
+        router = SyntheticRouter(config, regime_with_alpha(alpha), seed=1)
+        problem = PlacementProblem(
+            config=config, topology=topology,
+            probability_matrix=router.probability_matrix(8192),
+            tokens_per_step=1920, capacities=capacities)
+        vela = expected_step_comm_time(
+            LocalityAwarePlacement().place(problem), problem)
+        seq = expected_step_comm_time(
+            SequentialPlacement().place(problem), problem)
+        rows.append([alpha, percent(1 - vela / seq)])
+    print("\n=== skew sweep: Eq.(7) reduction of VELA vs sequential ===")
+    print(format_table(["dirichlet alpha", "comm-time reduction"], rows))
+    print("(lower alpha = stronger locality = bigger win)")
+
+
+def theorem_demo() -> None:
+    print("\n=== Theorem 1: uncertainty term P(1-P) controls drift ===")
+    rows = []
+    rng = np.random.default_rng(0)
+    for confidence in (0.99, 0.9, 0.7, 0.5, 0.3):
+        # A gate whose top expert holds `confidence` of the softmax mass.
+        probs = np.full(8, (1 - confidence) / 7)
+        probs[0] = confidence
+        logits = np.log(probs)
+        delta = rng.normal(size=8) * 0.05
+        perturbed = np.exp(logits + delta)
+        perturbed /= perturbed.sum()
+        drift = np.abs(perturbed - probs).max()
+        bound = softmax_sensitivity_bound(probs, np.abs(delta).max()).max()
+        theorem = theorem1_bound(probs, lr=1e-3, lipschitz=7.0,
+                                 num_experts=8).max()
+        rows.append([confidence, f"{drift:.5f}", f"{bound:.5f}",
+                     f"{theorem:.5f}"])
+    print(format_table(
+        ["top-expert confidence", "measured drift",
+         "sensitivity bound", "Theorem-1 bound (SGD)"], rows))
+    print("(confident selections are provably sticky — the basis for "
+          "profiling locality once, before fine-tuning)")
+
+
+def main() -> None:
+    show_heatmaps()
+    skew_sweep()
+    theorem_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Calibrate the synthetic router to a measured locality profile.
+
+The Mixtral-scale experiments in this repo run on hand-calibrated synthetic
+regimes.  When you have a *real* model, the loop closes like this:
+
+1. profile your model on your dataset (here: the live tiny model),
+2. fit a :class:`LocalityRegime` to the measured profile
+   (`repro.routing.fitting`),
+3. run what-if studies — other clusters, capacities, step counts — on a
+   synthetic twin whose routing statistics match your workload.
+
+Run:  python examples/regime_fitting.py
+"""
+
+import numpy as np
+
+from repro import VelaConfig, compare_strategies, reduction_vs
+from repro.bench.report import format_table, percent
+from repro.bench.workloads import tiny_finetune_workload
+from repro.cluster import bandwidth_ratio_cluster, paper_cluster
+from repro.finetune import pretrain_router
+from repro.routing import (LocalityProfiler, SyntheticRouter, fit_regime,
+                           selection_entropy)
+
+
+def main() -> None:
+    # 1. Measure a real model.
+    print("[1/3] profiling the live tiny model...")
+    model, loader = tiny_finetune_workload(seed=0)
+    pretrain_router(model, loader, steps=40)
+    profile = LocalityProfiler(model).profile(iter(loader), max_batches=8)
+    measured = profile.probability_matrix
+    print(f"  measured selection entropy: "
+          f"{selection_entropy(measured):.3f}")
+
+    # 2. Fit a synthetic twin.
+    print("\n[2/3] fitting a synthetic regime to the measurement...")
+    fit = fit_regime(model.config, measured, name="tiny-shakespeare-fit")
+    print(f"  fitted: alpha={fit.regime.dirichlet_alpha:.2f}, "
+          f"temperature={fit.regime.gate_temperature:.2f}")
+    print(f"  entropy match: target {fit.target_entropy:.3f}, "
+          f"achieved {fit.achieved_entropy:.3f} "
+          f"(error {fit.entropy_error:.3f})")
+
+    # 3. What-if: how would THIS workload behave on different clusters?
+    print("\n[3/3] what-if study on the fitted twin...")
+    rows = []
+    for label, topology in [("paper 3x2 V100", paper_cluster()),
+                            ("slow interconnect (4x)",
+                             bandwidth_ratio_cluster(4.0)),
+                            ("fast interconnect (40x)",
+                             bandwidth_ratio_cluster(40.0))]:
+        config = VelaConfig(model=model.config, topology=topology,
+                            batch_size=8, seq_len=48,
+                            capacities=[10] + [14] * (topology.num_workers - 1))
+        router = SyntheticRouter(model.config, fit.regime, seed=5)
+        trace = router.generate_trace(20, config.tokens_per_step)
+        results = compare_strategies(config, trace,
+                                     router.probability_matrix(8192))
+        rows.append([label,
+                     percent(reduction_vs(results,
+                                          "avg_external_traffic_mb_per_node")),
+                     percent(reduction_vs(results, "avg_step_time_s"))])
+    print(format_table(["cluster", "traffic reduction", "time reduction"],
+                       rows))
+    print("\n(the fitted twin lets you answer these questions without "
+          "re-running the real model)")
+
+
+if __name__ == "__main__":
+    main()

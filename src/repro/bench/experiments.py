@@ -1,0 +1,150 @@
+"""Experiment implementations, one per paper figure.
+
+Each function runs an experiment end-to-end and returns a structured result;
+the benchmarks print these and assert the paper's qualitative shape, and
+``repro.bench.harness`` composes them into EXPERIMENTS.md content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.baselines import PAPER_STRATEGIES, compare_strategies, reduction_vs
+from ..finetune.trainer import FineTuneConfig, Trainer, pretrain_router
+from ..routing.profiler import LocalityProfile, LocalityProfiler
+from ..routing.stability import StabilityMonitor, StabilityReport
+from ..runtime.metrics import RunMetrics
+from .workloads import PaperWorkload, paper_workload, tiny_finetune_workload
+
+
+# --------------------------------------------------------------------- #
+# Fig. 3: expert locality on a live tiny model
+# --------------------------------------------------------------------- #
+@dataclass
+class LocalityExperiment:
+    """Results behind Fig. 3(a)-(c) and the Theorem 1 check."""
+
+    profile: LocalityProfile
+    access_over_time: np.ndarray     # (steps, experts), monitored layer
+    stability: StabilityReport
+    losses: np.ndarray
+
+    def frequency_drift(self) -> float:
+        """Largest access-frequency change over the run."""
+        return self.stability.max_frequency_change()
+
+
+def run_locality_experiment(finetune_steps: int = 120,
+                            pretrain_steps: int = 60,
+                            monitored_layer: int = 0,
+                            seed: int = 0) -> LocalityExperiment:
+    """Pre-train a tiny MoE, profile locality, fine-tune, measure stability.
+
+    Mirrors the paper's Section III protocol: (1) a converged model is
+    profiled in inference mode (Fig. 3(a)/(b)); (2) it is then LoRA
+    fine-tuned while the first block's gate is monitored (Fig. 3(c)).
+    """
+    model, loader = tiny_finetune_workload(seed=seed)
+    pretrain_router(model, loader, steps=pretrain_steps)
+
+    profiler = LocalityProfiler(model, monitored_layer=monitored_layer)
+    profile = profiler.profile(iter(loader), max_batches=8)
+
+    trainer = Trainer(model, loader,
+                      FineTuneConfig(steps=finetune_steps, lr=3e-4,
+                                     monitored_layer=monitored_layer))
+    result = trainer.train()
+
+    monitor = StabilityMonitor(lr=trainer.config.lr)
+    freq = result.trace.access_frequency_over_time(monitored_layer)
+    for step in range(result.num_steps):
+        monitor.observe(
+            probs=result.gate_mean_probs[step][None, :],
+            access_counts=result.trace.counts[step, monitored_layer],
+            total_selections=result.trace.tokens_per_step * result.trace.top_k)
+    return LocalityExperiment(profile=profile,
+                              access_over_time=freq,
+                              stability=monitor.report(),
+                              losses=result.losses)
+
+
+# --------------------------------------------------------------------- #
+# Fig. 5 + Fig. 6: traffic and step time across strategies
+# --------------------------------------------------------------------- #
+@dataclass
+class ComparisonExperiment:
+    """One (model, dataset) cell of Fig. 5/Fig. 6."""
+
+    workload_name: str
+    runs: Dict[str, RunMetrics]
+
+    def traffic_mb_per_node(self) -> Dict[str, float]:
+        """Average external traffic per strategy (MB/node/step)."""
+        return {name: run.avg_external_traffic_per_node() / 1e6
+                for name, run in self.runs.items()}
+
+    def step_times(self) -> Dict[str, float]:
+        """Average step time per strategy (seconds)."""
+        return {name: run.avg_step_time() for name, run in self.runs.items()}
+
+    def traffic_series_mb(self) -> Dict[str, np.ndarray]:
+        """Per-step external-traffic series per strategy (MB)."""
+        return {name: run.external_traffic_series() / 1e6
+                for name, run in self.runs.items()}
+
+    def traffic_reduction_vs_ep(self) -> float:
+        """Fractional traffic reduction of vela vs expert parallelism."""
+        return reduction_vs(self.runs, "avg_external_traffic_mb_per_node")
+
+    def time_reduction_vs_ep(self) -> float:
+        """Fractional step-time reduction of vela vs expert parallelism."""
+        return reduction_vs(self.runs, "avg_step_time_s")
+
+
+def run_comparison_experiment(model: str = "mixtral",
+                              dataset: str = "wikitext",
+                              num_steps: int = 100, seed: int = 1,
+                              strategies=PAPER_STRATEGIES,
+                              workload: Optional[PaperWorkload] = None
+                              ) -> ComparisonExperiment:
+    """Replay one fine-tuning trace under all placement strategies."""
+    workload = workload or paper_workload(model, dataset, seed=seed)
+    trace = workload.trace(num_steps)
+    runs = compare_strategies(workload.config, trace,
+                              workload.probability_matrix,
+                              strategies=strategies)
+    return ComparisonExperiment(workload_name=workload.name, runs=runs)
+
+
+# --------------------------------------------------------------------- #
+# Fig. 7: access heatmaps
+# --------------------------------------------------------------------- #
+@dataclass
+class HeatmapExperiment:
+    """One dataset's access-probability heatmap (a Fig. 7 panel)."""
+    workload_name: str
+    probability_matrix: np.ndarray   # (layers, experts)
+
+    def concentration(self) -> float:
+        """Mean normalized entropy across layers (lower = more skewed)."""
+        p = self.probability_matrix / self.probability_matrix.sum(
+            axis=1, keepdims=True)
+        p = np.clip(p, 1e-12, None)
+        entropy = -(p * np.log(p)).sum(axis=1) / np.log(p.shape[1])
+        return float(entropy.mean())
+
+    def hot_expert_share(self, top: int = 2) -> float:
+        """Fraction of selections captured by each layer's top experts."""
+        sorted_p = np.sort(self.probability_matrix, axis=1)
+        return float(sorted_p[:, -top:].sum() / self.probability_matrix.sum())
+
+
+def run_heatmap_experiment(model: str = "mixtral", dataset: str = "wikitext",
+                           seed: int = 1) -> HeatmapExperiment:
+    """Build the access heatmap for one (model, dataset) pairing."""
+    workload = paper_workload(model, dataset, seed=seed)
+    return HeatmapExperiment(workload_name=workload.name,
+                             probability_matrix=workload.probability_matrix)

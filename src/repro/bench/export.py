@@ -1,0 +1,84 @@
+"""Markdown export of evaluation results.
+
+Turns an :class:`~repro.bench.harness.EvaluationReport` into the markdown
+tables EXPERIMENTS.md records, so the file can be regenerated from a fresh
+run (``python -m repro evaluate --markdown results.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .harness import EvaluationReport
+from .report import percent
+
+
+def _markdown_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def report_to_markdown(report: EvaluationReport) -> str:
+    """Render a full evaluation as a markdown document."""
+    sections = ["# Regenerated evaluation results", ""]
+
+    if report.locality is not None:
+        loc = report.locality
+        sections += [
+            "## Fig. 3 — expert locality (live tiny model)", "",
+            _markdown_table(
+                ["metric", "measured"],
+                [["block-0 access imbalance (max/min)",
+                  f"{loc.profile.imbalance_ratio(0):.1f}x"],
+                 ["selected-score sums > 0.5",
+                  percent(loc.profile.fraction_above(0.5))],
+                 ["selected-score sums > 0.7",
+                  percent(loc.profile.fraction_above(0.7))],
+                 ["max access-frequency drift",
+                  f"{loc.frequency_drift():.4f}"],
+                 ["Theorem-1 bound violations",
+                  str(loc.stability.violations)]]),
+            ""]
+
+    if report.comparisons:
+        traffic_rows, time_rows = [], []
+        for name, exp in report.comparisons.items():
+            traffic = exp.traffic_mb_per_node()
+            traffic_rows.append(
+                [name] + [f"{traffic[k]:.0f}" for k in
+                          ("expert_parallel", "sequential", "random", "vela")]
+                + [f"-{percent(exp.traffic_reduction_vs_ep())}"])
+            times = exp.step_times()
+            time_rows.append(
+                [name] + [f"{times[k]:.3f}" for k in
+                          ("expert_parallel", "sequential", "random", "vela")]
+                + [f"-{percent(exp.time_reduction_vs_ep())}"])
+        headers = ["workload", "EP", "sequential", "random", "vela",
+                   "vela vs EP"]
+        sections += ["## Fig. 5 — cross-node traffic per node (MB/step)", "",
+                     _markdown_table(headers, traffic_rows), "",
+                     "## Fig. 6 — average step time (s)", "",
+                     _markdown_table(headers, time_rows), ""]
+
+    if report.heatmaps:
+        rows = [[name, f"{exp.concentration():.3f}",
+                 percent(exp.hot_expert_share(2))]
+                for name, exp in report.heatmaps.items()]
+        sections += ["## Fig. 7 — access concentration", "",
+                     _markdown_table(["workload", "normalized entropy",
+                                      "top-2 share"], rows), ""]
+
+    sections.append(f"_(evaluation wall time: {report.elapsed_s:.1f}s)_")
+    return "\n".join(sections)
+
+
+def write_markdown(report: EvaluationReport, path: str) -> None:
+    """Write the markdown rendering to ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(report_to_markdown(report) + "\n")

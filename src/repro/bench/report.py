@@ -1,0 +1,106 @@
+"""Plain-text rendering of experiment results: tables, series, heatmaps.
+
+The paper's figures are line charts and heatmaps; these helpers render the
+same data as terminal-friendly text so benchmark output is self-contained
+(no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Compress a series into a fixed-width unicode sparkline."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return ""
+    if len(values) > width:
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[min(a, len(values) - 1)]
+                           for a, b in zip(edges[:-1], edges[1:])])
+    low, high = values.min(), values.max()
+    if high - low < 1e-12:
+        return blocks[3] * len(values)
+    scaled = ((values - low) / (high - low) * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in scaled)
+
+
+def series_panel(series: Dict[str, np.ndarray], unit: str = "",
+                 width: int = 60) -> str:
+    """Render several labeled series as sparklines with min/mean/max."""
+    name_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        values = np.asarray(values, dtype=np.float64)
+        lines.append(f"{name.ljust(name_width)}  {sparkline(values, width)}  "
+                     f"min={values.min():.4g} mean={values.mean():.4g} "
+                     f"max={values.max():.4g} {unit}")
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, row_label: str = "", col_label: str = "",
+            max_value: float | None = None) -> str:
+    """Render a matrix as a shaded text heatmap (the Fig. 7 visual).
+
+    Rows are matrix rows; darker glyphs mean larger values.
+    """
+    shades = " .:-=+*#%@"
+    matrix = np.asarray(matrix, dtype=np.float64)
+    top = max_value if max_value is not None else max(matrix.max(), 1e-12)
+    lines = []
+    if col_label:
+        lines.append(f"      {col_label} ->")
+    for r, row in enumerate(matrix):
+        cells = "".join(
+            shades[min(int(v / top * (len(shades) - 1)), len(shades) - 1)] * 2
+            for v in row)
+        prefix = f"{row_label}{r:2d} |" if row_label else f"{r:2d} |"
+        lines.append(f"{prefix}{cells}|")
+    return "\n".join(lines)
+
+
+def histogram(values: np.ndarray, bins: int = 10, width: int = 40) -> str:
+    """Text histogram (used for the Fig. 3(b) score CDF summary)."""
+    values = np.asarray(values, dtype=np.float64)
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(count / peak * width)
+        lines.append(f"[{lo:6.3f}, {hi:6.3f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def percent(fraction: float) -> str:
+    """Format a fraction as a percent string."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,62 @@
+"""Compute device specifications.
+
+A :class:`DeviceSpec` carries the two quantities the simulation needs:
+memory capacity (which bounds how many experts a worker can host — the
+``C_n`` of the paper's constraint (11)) and effective throughput (which sets
+expert compute time relative to communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GiB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU-like accelerator.
+
+    Attributes
+    ----------
+    name:
+        Model label ("V100-32GB", ...).
+    memory_bytes:
+        Total device memory.
+    effective_flops:
+        Sustained mixed-precision throughput in FLOP/s.  Peak numbers are
+        never reached in practice; presets use ~25 % of peak, which only
+        matters through the compute/communication ratio.
+    """
+
+    name: str
+    memory_bytes: int
+    effective_flops: float
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.effective_flops <= 0:
+            raise ValueError("effective_flops must be positive")
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.effective_flops
+
+
+def v100_32gb() -> DeviceSpec:
+    """The paper's evaluation GPU (Section V-A).
+
+    125 TFLOP/s fp16 peak; GEMM-dominated fine-tuning sustains roughly 65 %
+    of peak on tensor cores.
+    """
+    return DeviceSpec(name="V100-32GB", memory_bytes=32 * GiB,
+                      effective_flops=80e12)
+
+
+def a100_80gb() -> DeviceSpec:
+    """A larger device for what-if topology studies."""
+    return DeviceSpec(name="A100-80GB", memory_bytes=80 * GiB,
+                      effective_flops=80e12)

@@ -1,0 +1,60 @@
+"""Communication links.
+
+A :class:`Link` is a point-to-point channel with bandwidth and latency; the
+transfer-time model is the standard ``latency + bytes / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed communication channel.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained throughput.  The paper measures 18.3 GB/s intra-node
+        (PCIe/NVLink) and 1.17 GB/s cross-node (Ethernet, via iperf).
+    latency_s:
+        One-way message latency (per-transfer fixed cost).
+    """
+
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+def intra_node_link() -> Link:
+    """The paper's measured intra-node link: 18.3 GB/s PCIe/NVLink."""
+    return Link(bandwidth_bytes_per_s=18.3 * GB, latency_s=10e-6,
+                name="intra-node")
+
+
+def cross_node_link() -> Link:
+    """The paper's measured cross-node link: 1.17 GB/s Ethernet."""
+    return Link(bandwidth_bytes_per_s=1.17 * GB, latency_s=150e-6,
+                name="cross-node")
+
+
+def loopback_link() -> Link:
+    """Master and worker on the same device (near-zero cost copy)."""
+    return Link(bandwidth_bytes_per_s=600 * GB, latency_s=1e-6, name="loopback")

@@ -1,0 +1,76 @@
+"""Cluster presets.
+
+``paper_cluster`` reproduces the paper's evaluation environment (Section V-A):
+three nodes, two V100-32GB GPUs each, 18.3 GB/s intra-node, 1.17 GB/s
+cross-node Ethernet.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceSpec, a100_80gb, v100_32gb
+from .link import GB, Link, cross_node_link, intra_node_link
+from .topology import ClusterTopology
+
+
+def paper_cluster() -> ClusterTopology:
+    """3 nodes x 2 V100, the paper's measured bandwidths."""
+    return ClusterTopology(num_nodes=3, gpus_per_node=2, device=v100_32gb(),
+                           intra_link=intra_node_link(),
+                           cross_link=cross_node_link())
+
+
+def single_node(gpus: int = 4) -> ClusterTopology:
+    """One machine: every link is the fast intra-node link."""
+    return ClusterTopology(num_nodes=1, gpus_per_node=gpus, device=v100_32gb(),
+                           intra_link=intra_node_link(),
+                           cross_link=cross_node_link())
+
+
+def flat_cluster(num_nodes: int = 6, bandwidth_gbps: float = 10.0) -> ClusterTopology:
+    """One GPU per node, homogeneous bandwidth everywhere.
+
+    With equal bandwidth the LP's placement choice becomes load balancing
+    only — the degenerate regime the bandwidth-sweep ablation explores.
+    """
+    link = Link(bandwidth_bytes_per_s=bandwidth_gbps * GB / 8, latency_s=100e-6,
+                name=f"flat-{bandwidth_gbps:g}gbps")
+    return ClusterTopology(num_nodes=num_nodes, gpus_per_node=1,
+                           device=v100_32gb(), intra_link=link, cross_link=link)
+
+
+def bandwidth_ratio_cluster(ratio: float, num_nodes: int = 3,
+                            gpus_per_node: int = 2) -> ClusterTopology:
+    """Fix cross-node bandwidth at the paper's 1.17 GB/s and scale intra-node.
+
+    ``ratio`` is intra/cross bandwidth; the paper's environment has
+    ratio ~= 15.6.  Used by the heterogeneity ablation.
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    cross = cross_node_link()
+    intra = Link(bandwidth_bytes_per_s=cross.bandwidth_bytes_per_s * ratio,
+                 latency_s=10e-6, name=f"intra-x{ratio:g}")
+    return ClusterTopology(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                           device=v100_32gb(), intra_link=intra, cross_link=cross)
+
+
+def large_cluster(num_nodes: int = 8, gpus_per_node: int = 4) -> ClusterTopology:
+    """A bigger deployment for scalability studies."""
+    return ClusterTopology(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                           device=a100_80gb(), intra_link=intra_node_link(),
+                           cross_link=cross_node_link())
+
+
+def heterogeneous_cluster() -> ClusterTopology:
+    """A mixed fleet: one A100 node plus two V100 nodes.
+
+    Worker capacities and compute speeds now differ per worker, exercising
+    the LP's capacity constraint (11) with genuinely unequal ``C_n`` — the
+    big-memory node can absorb disproportionally many (hot) experts.
+    """
+    devices = [a100_80gb(), a100_80gb(),
+               v100_32gb(), v100_32gb(),
+               v100_32gb(), v100_32gb()]
+    return ClusterTopology(num_nodes=3, gpus_per_node=2, devices=devices,
+                           intra_link=intra_node_link(),
+                           cross_link=cross_node_link())

@@ -1,0 +1,146 @@
+"""Cluster topology: nodes, worker devices, and pairwise links.
+
+Worker processes are numbered ``0..N-1`` (one per GPU, as VELA launches
+them); the master process lives on a configurable node/device.  The topology
+answers the two questions the cost model asks: what link connects any two
+processes, and which worker pairs are cross-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .device import DeviceSpec, v100_32gb
+from .link import Link, cross_node_link, intra_node_link, loopback_link
+
+
+@dataclass(frozen=True)
+class WorkerLocation:
+    """Physical position of a worker process."""
+
+    worker_id: int
+    node_id: int
+    local_gpu: int
+    device: DeviceSpec
+
+
+class ClusterTopology:
+    """A multi-node GPU cluster with uniform intra/cross-node links.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of machines.
+    gpus_per_node:
+        Worker processes launched per machine (one per GPU).
+    device:
+        GPU spec shared by all devices.
+    intra_link / cross_link:
+        Links used between processes on the same / different nodes.
+    master_node, master_gpu:
+        Where the master process (model backbone) runs.  It shares its GPU
+        with worker ``master_node * gpus_per_node + master_gpu``; transfers
+        to that worker use a loopback link.
+    """
+
+    def __init__(self, num_nodes: int, gpus_per_node: int,
+                 device: DeviceSpec | None = None,
+                 intra_link: Link | None = None,
+                 cross_link: Link | None = None,
+                 master_node: int = 0, master_gpu: int = 0,
+                 devices: Optional[List[DeviceSpec]] = None):
+        """``devices`` optionally assigns a distinct spec to every worker
+        (length ``num_nodes * gpus_per_node``, worker-id order) — mixed
+        V100/A100 fleets are common in practice and exercise the LP's
+        capacity heterogeneity.  ``device`` remains the uniform default.
+        """
+        if num_nodes < 1 or gpus_per_node < 1:
+            raise ValueError("num_nodes and gpus_per_node must be positive")
+        if not 0 <= master_node < num_nodes:
+            raise ValueError(f"master_node {master_node} out of range")
+        if not 0 <= master_gpu < gpus_per_node:
+            raise ValueError(f"master_gpu {master_gpu} out of range")
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node
+        self.device = device or v100_32gb()
+        if devices is not None and len(devices) != num_nodes * gpus_per_node:
+            raise ValueError(
+                f"devices must have one entry per worker "
+                f"({num_nodes * gpus_per_node}), got {len(devices)}")
+        self.intra_link = intra_link or intra_node_link()
+        self.cross_link = cross_link or cross_node_link()
+        self.loopback = loopback_link()
+        self.master_node = master_node
+        self.master_gpu = master_gpu
+        self.workers: List[WorkerLocation] = [
+            WorkerLocation(
+                worker_id=node * gpus_per_node + gpu,
+                node_id=node, local_gpu=gpu,
+                device=(devices[node * gpus_per_node + gpu]
+                        if devices is not None else self.device))
+            for node in range(num_nodes) for gpu in range(gpus_per_node)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # basic shape
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Worker process count."""
+        return len(self.workers)
+
+    @property
+    def master_worker_id(self) -> int:
+        """The worker co-located on the master's GPU."""
+        return self.master_node * self.gpus_per_node + self.master_gpu
+
+    def node_of(self, worker_id: int) -> int:
+        """Node id hosting a worker."""
+        return self.workers[worker_id].node_id
+
+    # ------------------------------------------------------------------ #
+    # link selection
+    # ------------------------------------------------------------------ #
+    def master_link(self, worker_id: int) -> Link:
+        """The link the master uses to reach ``worker_id`` (``B_n`` source)."""
+        worker = self.workers[worker_id]
+        if worker.node_id == self.master_node:
+            if worker.local_gpu == self.master_gpu:
+                return self.loopback
+            return self.intra_link
+        return self.cross_link
+
+    def worker_link(self, a: int, b: int) -> Link:
+        """The link between two worker processes (EP all-to-all paths)."""
+        if a == b:
+            return self.loopback
+        if self.node_of(a) == self.node_of(b):
+            return self.intra_link
+        return self.cross_link
+
+    def master_bandwidths(self) -> List[float]:
+        """``B_n`` for every worker, in bytes/s (input to the LP)."""
+        return [self.master_link(w).bandwidth_bytes_per_s
+                for w in range(self.num_workers)]
+
+    # ------------------------------------------------------------------ #
+    # cross-node accounting (Fig. 5's "external traffic")
+    # ------------------------------------------------------------------ #
+    def is_cross_node_from_master(self, worker_id: int) -> bool:
+        """Whether the worker sits on another node than the master."""
+        return self.node_of(worker_id) != self.master_node
+
+    def is_cross_node(self, a: int, b: int) -> bool:
+        """Whether two workers sit on different nodes."""
+        return self.node_of(a) != self.node_of(b)
+
+    def workers_on_node(self, node_id: int) -> List[int]:
+        """Worker ids located on one node."""
+        return [w.worker_id for w in self.workers if w.node_id == node_id]
+
+    def __repr__(self) -> str:
+        return (f"ClusterTopology({self.num_nodes} nodes x "
+                f"{self.gpus_per_node} {self.device.name}, "
+                f"intra={self.intra_link.bandwidth_bytes_per_s / 1e9:.1f} GB/s, "
+                f"cross={self.cross_link.bandwidth_bytes_per_s / 1e9:.2f} GB/s)")

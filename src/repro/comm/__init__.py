@@ -1,0 +1,21 @@
+"""Communication substrate: messages, cost models, collectives."""
+
+from .collective import (all_to_all_time, cross_node_bytes_all_to_all,
+                         one_to_all_time, ring_all_reduce_time,
+                         status_sync_time)
+from .compression import (FP16, INT4, INT8, SCHEMES, CompressionScheme,
+                          apply_scheme, dequantize_absmax, expected_relative_error,
+                          quantization_error, quantize_absmax, roundtrip)
+from .cost import CommCostModel
+from .message import (BACKWARD_KINDS, FORWARD_KINDS, MASTER, Message,
+                      MessageKind)
+
+__all__ = [
+    "Message", "MessageKind", "MASTER", "FORWARD_KINDS", "BACKWARD_KINDS",
+    "CommCostModel",
+    "CompressionScheme", "FP16", "INT8", "INT4", "SCHEMES",
+    "quantize_absmax", "dequantize_absmax", "roundtrip",
+    "quantization_error", "expected_relative_error", "apply_scheme",
+    "one_to_all_time", "all_to_all_time", "status_sync_time",
+    "ring_all_reduce_time", "cross_node_bytes_all_to_all",
+]

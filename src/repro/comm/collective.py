@@ -1,0 +1,104 @@
+"""Collective communication cost models.
+
+These model the patterns that distinguish the paper's two execution
+frameworks:
+
+* master-worker **one-to-all** (VELA): the master exchanges data with every
+  worker in parallel over independent links; a phase completes when the
+  slowest worker finishes (Eq. (7)'s max).
+* **all-to-all** (conventional expert parallelism): every device exchanges
+  with every other, preceded by the status synchronization the paper
+  describes ("all devices need to determine how many tokens they should
+  receive from each other before performing the data transfer").
+* **ring all-reduce**: EP's end-of-step gradient synchronization for the
+  replicated non-expert layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+
+
+def one_to_all_time(bytes_per_worker: np.ndarray,
+                    topology: ClusterTopology) -> float:
+    """Master sends ``bytes_per_worker[n]`` to each worker concurrently."""
+    bytes_per_worker = np.asarray(bytes_per_worker, dtype=np.float64)
+    if bytes_per_worker.shape[0] != topology.num_workers:
+        raise ValueError("bytes_per_worker length must equal num_workers")
+    worst = 0.0
+    for worker, nbytes in enumerate(bytes_per_worker):
+        if nbytes <= 0:
+            continue
+        link = topology.master_link(worker)
+        worst = max(worst, link.transfer_time(float(nbytes)))
+    return worst
+
+
+def all_to_all_time(byte_matrix: np.ndarray, topology: ClusterTopology) -> float:
+    """Synchronized all-to-all over a ``(N, N)`` byte matrix.
+
+    Each device serializes its outgoing transfers (one NIC/copy engine); all
+    devices proceed in parallel; the collective completes at a barrier when
+    the slowest sender finishes.  Diagonal entries (local data) are free.
+    """
+    byte_matrix = np.asarray(byte_matrix, dtype=np.float64)
+    n = topology.num_workers
+    if byte_matrix.shape != (n, n):
+        raise ValueError(f"byte matrix must be ({n}, {n})")
+    worst = 0.0
+    for src in range(n):
+        elapsed = 0.0
+        for dst in range(n):
+            if src == dst or byte_matrix[src, dst] <= 0:
+                continue
+            link = topology.worker_link(src, dst)
+            elapsed += link.transfer_time(float(byte_matrix[src, dst]))
+        worst = max(worst, elapsed)
+    return worst
+
+
+def status_sync_time(topology: ClusterTopology) -> float:
+    """The EP pre-exchange: an all-to-all of token counts plus a barrier.
+
+    Counts are tiny (a few bytes per pair), so the cost is latency-dominated:
+    every device must hear from every other before the payload all-to-all can
+    be posted.  Model: one latency round over the slowest link, both ways.
+    """
+    slowest = max(topology.intra_link.latency_s, topology.cross_link.latency_s)
+    return 2.0 * slowest
+
+
+def ring_all_reduce_time(nbytes: float, topology: ClusterTopology) -> float:
+    """Bandwidth-optimal ring all-reduce across all workers.
+
+    ``2 * (N-1)/N * nbytes`` over the slowest link in the ring plus the
+    per-hop latencies of the ``2*(N-1)`` steps.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    n = topology.num_workers
+    if n == 1 or nbytes == 0:
+        return 0.0
+    # Any ring over multiple nodes traverses cross-node links.
+    if topology.num_nodes > 1:
+        slowest = topology.cross_link
+    else:
+        slowest = topology.intra_link
+    volume = 2.0 * (n - 1) / n * nbytes
+    return volume / slowest.bandwidth_bytes_per_s + \
+        2.0 * (n - 1) * slowest.latency_s
+
+
+def cross_node_bytes_all_to_all(byte_matrix: np.ndarray,
+                                topology: ClusterTopology) -> float:
+    """Bytes of an all-to-all that traverse node boundaries."""
+    byte_matrix = np.asarray(byte_matrix, dtype=np.float64)
+    total = 0.0
+    n = topology.num_workers
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and topology.is_cross_node(src, dst):
+                total += byte_matrix[src, dst]
+    return total

@@ -1,0 +1,89 @@
+"""The paper's communication cost model (Eq. (5)–(7)).
+
+All quantities derive from three inputs: the model's per-token feature bytes
+(``b * H / 8``), per-block token counts ``K[n, l]``, and the master-worker
+bandwidths ``B_n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+
+
+class CommCostModel:
+    """Closed-form communication times and byte counts for one cluster+model."""
+
+    def __init__(self, config: MoEModelConfig, topology: ClusterTopology):
+        self.config = config
+        self.topology = topology
+        self.token_bytes = config.token_feature_nbytes()
+
+    # ------------------------------------------------------------------ #
+    # Eq. (5): single worker, single block
+    # ------------------------------------------------------------------ #
+    def block_bytes(self, tokens: float) -> float:
+        """``D_{n,l} = b*H*K / 8`` — one direction, one block."""
+        return self.token_bytes * tokens
+
+    def block_round_trip_time(self, worker: int, tokens: float) -> float:
+        """Eq. (5): ``2 D / B_n`` plus two link latencies (send + receive)."""
+        link = self.topology.master_link(worker)
+        nbytes = self.block_bytes(tokens)
+        if nbytes == 0:
+            return 0.0
+        return 2.0 * (link.latency_s + nbytes / link.bandwidth_bytes_per_s)
+
+    # ------------------------------------------------------------------ #
+    # Eq. (7): full step, master-worker pattern
+    # ------------------------------------------------------------------ #
+    def layer_comm_time(self, tokens_per_worker: np.ndarray) -> float:
+        """Max over workers of the round-trip time for one block.
+
+        ``tokens_per_worker`` is the ``K[n]`` vector for one layer.
+        """
+        times = [self.block_round_trip_time(worker, float(tokens))
+                 for worker, tokens in enumerate(tokens_per_worker)]
+        return max(times)
+
+    def step_comm_time(self, tokens_matrix: np.ndarray,
+                       passes: int = 2) -> float:
+        """Sum over blocks of per-block maxima, for ``passes`` round trips.
+
+        ``tokens_matrix`` has shape ``(workers, layers)``.  ``passes=2``
+        covers forward (features out/back) and backward (gradients out/back),
+        i.e. the paper's four exchanges.
+        """
+        total = 0.0
+        for layer in range(tokens_matrix.shape[1]):
+            total += self.layer_comm_time(tokens_matrix[:, layer])
+        return passes * total
+
+    # ------------------------------------------------------------------ #
+    # byte accounting (Fig. 5's external traffic)
+    # ------------------------------------------------------------------ #
+    def step_bytes_per_worker(self, tokens_matrix: np.ndarray,
+                              transfers: int = 4) -> np.ndarray:
+        """Bytes exchanged with each worker in one step (all transfers)."""
+        per_direction = self.token_bytes * tokens_matrix.sum(axis=1)
+        return transfers * per_direction
+
+    def cross_node_bytes(self, tokens_matrix: np.ndarray,
+                         transfers: int = 4) -> float:
+        """Total bytes that cross node boundaries in one step."""
+        per_worker = self.step_bytes_per_worker(tokens_matrix, transfers)
+        total = 0.0
+        for worker in range(self.topology.num_workers):
+            if self.topology.is_cross_node_from_master(worker):
+                total += per_worker[worker]
+        return float(total)
+
+    def external_traffic_per_node(self, tokens_matrix: np.ndarray,
+                                  transfers: int = 4) -> float:
+        """Average cross-node bytes per node — the Fig. 5 y-axis."""
+        return self.cross_node_bytes(tokens_matrix, transfers) / \
+            self.topology.num_nodes

@@ -1,0 +1,45 @@
+"""Message primitives for the simulated communication layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """What a transfer carries, mirroring VELA's broker data flows (Fig. 4)."""
+
+    TOKEN_DISPATCH = "token_dispatch"       # master -> worker, forward features
+    TOKEN_RESULT = "token_result"           # worker -> master, expert outputs
+    GRAD_DISPATCH = "grad_dispatch"         # master -> worker, output gradients
+    GRAD_RESULT = "grad_result"             # worker -> master, input gradients
+    STATUS_SYNC = "status_sync"             # EP all-to-all size exchange
+    ALLREDUCE = "allreduce"                 # EP replicated-gradient sync
+
+
+# Transfers in the two directions of each pass; the paper counts four
+# exchanges per MoE block per step (Section V-B).
+FORWARD_KINDS = (MessageKind.TOKEN_DISPATCH, MessageKind.TOKEN_RESULT)
+BACKWARD_KINDS = (MessageKind.GRAD_DISPATCH, MessageKind.GRAD_RESULT)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point transfer.
+
+    ``src``/``dst`` are worker ids, or ``-1`` for the master process.
+    """
+
+    src: int
+    dst: int
+    nbytes: float
+    kind: MessageKind
+    layer: int = -1
+    step: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+MASTER = -1

@@ -1,0 +1,234 @@
+"""Adaptive re-placement: extending VELA to non-stationary workloads.
+
+The paper profiles locality once and relies on Theorem 1's stability for the
+rest of the run — valid for a single fine-tuning dataset.  But practitioners
+chain datasets (curriculum schedules, multi-task mixes), and a dataset
+switch moves the hot experts (the paper's own Fig. 7 shows WikiText and
+Alpaca prefer different experts).  This module adds the natural extension:
+
+* watch the realized routing distribution during the run,
+* when it drifts past a threshold from the profile the current placement
+  was planned for, re-solve the LP on a recent window,
+* pay an explicit **migration cost** — expert weights moved across the
+  cluster at link speed — before the new placement takes effect.
+
+``run_adaptive`` replays a trace under this policy and reports when
+re-placement paid for itself; the companion benchmark compares static VELA,
+adaptive VELA, and a free-migration oracle on a phase-switching workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+from ..placement.base import Placement, PlacementProblem
+from ..placement.vela import LocalityAwarePlacement
+from ..routing.trace import RoutingTrace
+from ..runtime.engine import MasterWorkerEngine
+from ..runtime.metrics import RunMetrics
+from .config import VelaConfig
+
+
+def profile_drift(expected: np.ndarray, observed: np.ndarray) -> float:
+    """Mean per-layer total-variation distance between two access profiles.
+
+    Both are ``(layers, experts)`` matrices whose rows sum to ``top_k``;
+    the result is in ``[0, 1]`` (0 = identical, 1 = disjoint support).
+    """
+    expected = np.asarray(expected, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if expected.shape != observed.shape:
+        raise ValueError("profile shapes differ")
+    row_mass = expected.sum(axis=1, keepdims=True)
+    tv = 0.5 * np.abs(expected - observed).sum(axis=1) / row_mass[:, 0]
+    return float(tv.mean())
+
+
+def migration_plan_bytes(old: Placement, new: Placement,
+                         config: MoEModelConfig) -> np.ndarray:
+    """Bytes each worker must *receive* to realize the new placement.
+
+    An expert that changes workers ships its frozen fp16 weights plus LoRA
+    state (~expert_nbytes) to the new host.
+    """
+    if old.assignment.shape != new.assignment.shape:
+        raise ValueError("placement shapes differ")
+    moved = old.assignment != new.assignment
+    expert_bytes = config.expert_nbytes()
+    num_workers = max(int(old.assignment.max()), int(new.assignment.max())) + 1
+    incoming = np.zeros(num_workers)
+    for layer, expert in np.argwhere(moved):
+        incoming[new.assignment[layer, expert]] += expert_bytes
+    return incoming
+
+
+def migration_time(old: Placement, new: Placement, config: MoEModelConfig,
+                   topology: ClusterTopology) -> float:
+    """Seconds to ship moved experts, transfers to each worker serialized.
+
+    Conservative model: every moved expert travels master->worker (the
+    master holds the checkpoint), workers receive in parallel.
+    """
+    incoming = migration_plan_bytes(old, new, config)
+    worst = 0.0
+    for worker in range(min(len(incoming), topology.num_workers)):
+        if incoming[worker] <= 0:
+            continue
+        link = topology.master_link(worker)
+        worst = max(worst, link.transfer_time(float(incoming[worker])))
+    return worst
+
+
+@dataclass
+class ReplacementEvent:
+    """One re-placement decision during an adaptive run."""
+
+    step: int
+    drift: float
+    experts_moved: int
+    migration_time_s: float
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Metrics of an adaptive replay plus its re-placement history."""
+
+    metrics: RunMetrics
+    events: List[ReplacementEvent] = field(default_factory=list)
+
+    @property
+    def num_replacements(self) -> int:
+        """Re-placement events during the run."""
+        return len(self.events)
+
+    def total_migration_time(self) -> float:
+        """Seconds spent migrating experts across the run."""
+        return sum(e.migration_time_s for e in self.events)
+
+
+class AdaptivePlacementController:
+    """Drift-triggered re-placement policy.
+
+    Parameters
+    ----------
+    config:
+        System configuration (model, topology, capacities, geometry).
+    check_interval:
+        Steps between drift checks.
+    drift_threshold:
+        Mean total-variation distance that triggers re-placement.
+    window:
+        Trailing steps used to estimate the current profile.
+    """
+
+    def __init__(self, config: VelaConfig, check_interval: int = 20,
+                 drift_threshold: float = 0.15, window: int = 20):
+        if check_interval < 1 or window < 1:
+            raise ValueError("check_interval and window must be positive")
+        if not 0 < drift_threshold < 1:
+            raise ValueError("drift_threshold must be in (0, 1)")
+        self.config = config
+        self.check_interval = check_interval
+        self.drift_threshold = drift_threshold
+        self.window = window
+        self.strategy = LocalityAwarePlacement()
+
+    def _problem(self, probability: np.ndarray) -> PlacementProblem:
+        return PlacementProblem(
+            config=self.config.model, topology=self.config.topology,
+            probability_matrix=probability,
+            tokens_per_step=self.config.tokens_per_step,
+            capacities=self.config.worker_capacities())
+
+    def run(self, trace: RoutingTrace,
+            initial_profile: np.ndarray) -> AdaptiveRunResult:
+        """Replay ``trace`` with drift-triggered re-placement."""
+        cfg = self.config
+        placement = self.strategy.place(self._problem(initial_profile))
+        planned_profile = initial_profile
+        engine = MasterWorkerEngine(cfg.model, cfg.topology, placement,
+                                    cfg.tokens_per_step, cfg.seq_len,
+                                    lora_rank=cfg.lora_rank,
+                                    strategy_name="adaptive-vela")
+        run = RunMetrics(strategy="adaptive-vela")
+        events: List[ReplacementEvent] = []
+        pending_migration = 0.0
+
+        for step in range(trace.num_steps):
+            metrics = engine.run_step(trace.step_counts(step), step=step)
+            if pending_migration > 0:
+                metrics = _with_extra_time(metrics, pending_migration)
+                pending_migration = 0.0
+            run.append(metrics)
+
+            due = (step + 1) % self.check_interval == 0
+            if not due or step + 1 < self.window:
+                continue
+            observed = trace.probability_matrix(step + 1 - self.window,
+                                                step + 1)
+            drift = profile_drift(planned_profile, observed)
+            if drift < self.drift_threshold:
+                continue
+            new_placement = self.strategy.place(self._problem(observed))
+            moved = int((new_placement.assignment !=
+                         placement.assignment).sum())
+            if moved == 0:
+                planned_profile = observed
+                continue
+            cost = migration_time(placement, new_placement, cfg.model,
+                                  cfg.topology)
+            events.append(ReplacementEvent(step=step + 1, drift=drift,
+                                           experts_moved=moved,
+                                           migration_time_s=cost))
+            placement = new_placement
+            planned_profile = observed
+            pending_migration = cost
+            engine = MasterWorkerEngine(cfg.model, cfg.topology, placement,
+                                        cfg.tokens_per_step, cfg.seq_len,
+                                        lora_rank=cfg.lora_rank,
+                                        strategy_name="adaptive-vela")
+
+        return AdaptiveRunResult(metrics=run, events=events)
+
+
+def _with_extra_time(metrics, extra: float):
+    """Return a StepMetrics copy with migration time added to the step."""
+    from ..runtime.metrics import StepMetrics
+
+    return StepMetrics(step=metrics.step,
+                       total_time=metrics.total_time + extra,
+                       comm_time=metrics.comm_time + extra,
+                       compute_time=metrics.compute_time,
+                       sync_time=metrics.sync_time,
+                       allreduce_time=metrics.allreduce_time,
+                       total_bytes=metrics.total_bytes,
+                       cross_node_bytes=metrics.cross_node_bytes,
+                       num_nodes=metrics.num_nodes)
+
+
+def phase_switch_trace(config: MoEModelConfig, regimes, tokens_per_step: int,
+                       steps_per_phase: int, seed: int = 0) -> RoutingTrace:
+    """A non-stationary workload: concatenated phases, one regime each.
+
+    Models a fine-tuning curriculum that switches datasets mid-run — the
+    scenario where static single-profile placement goes stale.
+    """
+    from ..routing.synthetic import SyntheticRouter
+
+    if steps_per_phase < 1:
+        raise ValueError("steps_per_phase must be positive")
+    counts = []
+    name_parts = []
+    for phase, regime in enumerate(regimes):
+        router = SyntheticRouter(config, regime, seed=seed + phase * 1000)
+        trace = router.generate_trace(steps_per_phase, tokens_per_step)
+        counts.append(trace.counts)
+        name_parts.append(regime.name)
+    return RoutingTrace(model_name=f"{config.name}/{'+'.join(name_parts)}",
+                        top_k=config.top_k, tokens_per_step=tokens_per_step,
+                        counts=np.concatenate(counts, axis=0))

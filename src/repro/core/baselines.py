@@ -1,0 +1,91 @@
+"""Strategy registry and side-by-side comparison runner.
+
+``compare_strategies`` is the workhorse behind the Fig. 5/6 benchmarks: it
+replays one routing trace under every placement strategy, using the
+master-worker runtime for VELA-framework strategies and the all-to-all
+runtime for conventional expert parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..placement.base import PlacementProblem, PlacementStrategy
+from ..placement.expert_parallel import ExpertParallelPlacement
+from ..placement.greedy import GreedyPlacement
+from ..placement.random_ import RandomPlacement
+from ..placement.sequential import SequentialPlacement
+from ..placement.vela import LocalityAwarePlacement
+from ..routing.trace import RoutingTrace
+from ..runtime.engine import ExpertParallelEngine, MasterWorkerEngine
+from ..runtime.metrics import RunMetrics
+from .config import VelaConfig
+
+# The paper's four compared systems (Section V-A) plus our greedy ablation.
+STRATEGY_FACTORIES: Dict[str, Callable[[], PlacementStrategy]] = {
+    "expert_parallel": ExpertParallelPlacement,
+    "sequential": SequentialPlacement,
+    "random": RandomPlacement,
+    "vela": LocalityAwarePlacement,
+    "greedy": GreedyPlacement,
+}
+
+PAPER_STRATEGIES = ("expert_parallel", "sequential", "random", "vela")
+
+
+def make_strategy(name: str) -> PlacementStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        return STRATEGY_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; "
+                         f"known: {sorted(STRATEGY_FACTORIES)}") from None
+
+
+def compare_strategies(config: VelaConfig, trace: RoutingTrace,
+                       probability_matrix: np.ndarray,
+                       strategies: Iterable[str] = PAPER_STRATEGIES,
+                       max_steps: Optional[int] = None) -> Dict[str, RunMetrics]:
+    """Replay ``trace`` under each strategy; returns per-strategy metrics.
+
+    The locality profile feeds only the strategies that use it (vela,
+    greedy); baselines ignore it but are evaluated on the same trace.
+    """
+    problem = PlacementProblem(
+        config=config.model, topology=config.topology,
+        probability_matrix=probability_matrix,
+        tokens_per_step=config.tokens_per_step,
+        capacities=config.worker_capacities())
+
+    results: Dict[str, RunMetrics] = {}
+    for name in strategies:
+        strategy = make_strategy(name)
+        placement = strategy.place(problem)
+        if name == "expert_parallel":
+            engine = ExpertParallelEngine(
+                config.model, config.topology, placement,
+                config.tokens_per_step, config.seq_len,
+                lora_rank=config.lora_rank)
+        else:
+            engine = MasterWorkerEngine(
+                config.model, config.topology, placement,
+                config.tokens_per_step, config.seq_len,
+                lora_rank=config.lora_rank, strategy_name=name)
+        results[name] = engine.run_trace(trace, max_steps=max_steps)
+    return results
+
+
+def reduction_vs(results: Dict[str, RunMetrics], metric: str,
+                 baseline: str = "expert_parallel",
+                 target: str = "vela") -> float:
+    """Fractional reduction of ``target`` vs ``baseline`` on a summary metric.
+
+    ``metric`` is a key of :meth:`RunMetrics.summary` (e.g.
+    ``"avg_step_time_s"`` or ``"avg_external_traffic_mb_per_node"``).
+    """
+    base = results[baseline].summary()[metric]
+    if base == 0:
+        return 0.0
+    return 1.0 - results[target].summary()[metric] / base

@@ -1,0 +1,65 @@
+"""Top-level experiment configuration for the VELA system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cluster.memory import ExpertMemoryModel
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+
+
+@dataclass(frozen=True)
+class VelaConfig:
+    """Bundle of everything a VELA deployment needs to know.
+
+    Attributes
+    ----------
+    model:
+        The MoE model being fine-tuned.
+    topology:
+        The cluster hosting it.
+    batch_size, seq_len:
+        Fine-tuning geometry; ``tokens_per_step = batch_size * seq_len`` is
+        the ``K`` of the placement problem.
+    lora_rank:
+        LoRA rank (sizes the EP baseline's gradient all-reduce and the
+        optimizer costs).
+    capacities:
+        Explicit per-worker expert capacities; None derives them from
+        ``memory_model``.
+    memory_model:
+        How expert footprints and worker capacities are estimated.
+    profile_tokens:
+        Tokens used by the pre-fine-tuning locality measurement pass.
+    """
+
+    model: MoEModelConfig
+    topology: ClusterTopology
+    batch_size: int = 8
+    seq_len: int = 240
+    lora_rank: int = 8
+    capacities: Optional[Sequence[int]] = None
+    memory_model: ExpertMemoryModel = field(default_factory=ExpertMemoryModel)
+    profile_tokens: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1 or self.seq_len < 1:
+            raise ValueError("batch_size and seq_len must be positive")
+        if self.seq_len > self.model.max_seq_len:
+            raise ValueError(f"seq_len {self.seq_len} exceeds the model's "
+                             f"max_seq_len {self.model.max_seq_len}")
+        if self.profile_tokens < 1:
+            raise ValueError("profile_tokens must be positive")
+
+    @property
+    def tokens_per_step(self) -> int:
+        """Tokens per fine-tuning step (batch x sequence)."""
+        return self.batch_size * self.seq_len
+
+    def worker_capacities(self) -> list:
+        """Capacities: explicit if given, else memory-model-derived."""
+        if self.capacities is not None:
+            return [int(c) for c in self.capacities]
+        return self.memory_model.capacities(self.topology, self.model)

@@ -1,0 +1,137 @@
+"""Cluster capacity planning: what hardware does a fine-tuning job need?
+
+A downstream user's first question is not "how do I place experts" but
+"how many GPUs do I rent?".  This planner answers it with the machinery the
+reproduction already has: for each candidate cluster shape it derives
+capacities from the memory model, solves the locality-aware placement, and
+simulates the fine-tuning step — returning feasibility, expected step time,
+and traffic so the cheapest option meeting a target can be picked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.device import DeviceSpec, v100_32gb
+from ..cluster.memory import ExpertMemoryModel
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+from ..placement.base import PlacementProblem
+from ..placement.vela import LocalityAwarePlacement
+from ..routing.trace import RoutingTrace
+from ..runtime.engine import MasterWorkerEngine
+
+
+@dataclass(frozen=True)
+class ClusterOption:
+    """A candidate cluster shape."""
+
+    num_nodes: int
+    gpus_per_node: int
+    device: DeviceSpec = field(default_factory=v100_32gb)
+
+    @property
+    def num_gpus(self) -> int:
+        """Total GPU count."""
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier."""
+        return f"{self.num_nodes}x{self.gpus_per_node} {self.device.name}"
+
+    def topology(self) -> ClusterTopology:
+        """Materialize the ClusterTopology."""
+        return ClusterTopology(self.num_nodes, self.gpus_per_node,
+                               device=self.device)
+
+
+DEFAULT_OPTIONS = (
+    ClusterOption(1, 4), ClusterOption(1, 8),
+    ClusterOption(2, 2), ClusterOption(2, 4),
+    ClusterOption(3, 2), ClusterOption(3, 4),
+    ClusterOption(4, 4),
+)
+
+
+@dataclass
+class PlanResult:
+    """Outcome of evaluating one cluster option."""
+
+    option: ClusterOption
+    feasible: bool
+    reason: str = ""
+    avg_step_time_s: float = float("inf")
+    external_traffic_per_node: float = 0.0
+    total_capacity: int = 0
+
+    @property
+    def gpus(self) -> int:
+        """GPU count of the evaluated option."""
+        return self.option.num_gpus
+
+
+class ClusterPlanner:
+    """Evaluate cluster options for one (model, workload) pair."""
+
+    def __init__(self, model: MoEModelConfig,
+                 memory_model: Optional[ExpertMemoryModel] = None,
+                 seq_len: int = 240, lora_rank: int = 8):
+        self.model = model
+        self.memory_model = memory_model or ExpertMemoryModel()
+        self.seq_len = seq_len
+        self.lora_rank = lora_rank
+
+    def evaluate(self, option: ClusterOption, probability_matrix: np.ndarray,
+                 trace: RoutingTrace, max_steps: int = 5) -> PlanResult:
+        """Feasibility + simulated performance of one option."""
+        topology = option.topology()
+        capacities = self.memory_model.capacities(topology, self.model)
+        total = sum(capacities)
+        if total < self.model.total_experts:
+            return PlanResult(option=option, feasible=False,
+                              total_capacity=total,
+                              reason=f"capacity {total} < "
+                                     f"{self.model.total_experts} experts")
+        problem = PlacementProblem(
+            config=self.model, topology=topology,
+            probability_matrix=probability_matrix,
+            tokens_per_step=trace.tokens_per_step,
+            capacities=capacities)
+        placement = LocalityAwarePlacement().place(problem)
+        engine = MasterWorkerEngine(self.model, topology, placement,
+                                    trace.tokens_per_step, self.seq_len,
+                                    lora_rank=self.lora_rank)
+        run = engine.run_trace(trace, max_steps=max_steps)
+        return PlanResult(option=option, feasible=True,
+                          total_capacity=total,
+                          avg_step_time_s=run.avg_step_time(),
+                          external_traffic_per_node=
+                          run.avg_external_traffic_per_node())
+
+    def survey(self, probability_matrix: np.ndarray, trace: RoutingTrace,
+               options: Sequence[ClusterOption] = DEFAULT_OPTIONS,
+               max_steps: int = 5) -> List[PlanResult]:
+        """Evaluate every option, cheapest (fewest GPUs) first."""
+        results = [self.evaluate(option, probability_matrix, trace,
+                                 max_steps=max_steps)
+                   for option in options]
+        results.sort(key=lambda r: (r.gpus, r.avg_step_time_s))
+        return results
+
+    def recommend(self, probability_matrix: np.ndarray, trace: RoutingTrace,
+                  target_step_time_s: float,
+                  options: Sequence[ClusterOption] = DEFAULT_OPTIONS,
+                  max_steps: int = 5) -> Optional[PlanResult]:
+        """Cheapest feasible option meeting the step-time target, if any."""
+        if target_step_time_s <= 0:
+            raise ValueError("target_step_time_s must be positive")
+        for result in self.survey(probability_matrix, trace, options,
+                                  max_steps=max_steps):
+            if result.feasible and \
+                    result.avg_step_time_s <= target_step_time_s:
+                return result
+        return None

@@ -1,0 +1,98 @@
+"""The VELA system facade: profile -> place -> run.
+
+This is the public entry point a downstream user reaches for first:
+
+>>> from repro import VelaSystem, VelaConfig
+>>> from repro.models import mixtral_8x7b_sim
+>>> from repro.cluster import paper_cluster
+>>> from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+>>>
+>>> config = VelaConfig(model=mixtral_8x7b_sim(), topology=paper_cluster())
+>>> system = VelaSystem(config)
+>>> router = SyntheticRouter(config.model, WIKITEXT_REGIME, seed=1)
+>>> profile = router.probability_matrix(config.profile_tokens)
+>>> solution = system.plan(profile)
+>>> trace = router.generate_trace(num_steps=50,
+...                               tokens_per_step=config.tokens_per_step)
+>>> metrics = system.simulate(trace, solution.placement)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..placement.base import Placement, PlacementProblem, PlacementStrategy
+from ..placement.vela import LocalityAwarePlacement, PlacementSolution
+from ..routing.trace import RoutingTrace
+from ..runtime.engine import ExpertParallelEngine, MasterWorkerEngine
+from ..runtime.metrics import RunMetrics
+from .config import VelaConfig
+
+
+class VelaSystem:
+    """Locality-aware MoE fine-tuning: the paper's full pipeline."""
+
+    def __init__(self, config: VelaConfig,
+                 strategy: Optional[PlacementStrategy] = None):
+        self.config = config
+        self.strategy = strategy or LocalityAwarePlacement()
+
+    # ------------------------------------------------------------------ #
+    # step 1-2: locality profile -> placement
+    # ------------------------------------------------------------------ #
+    def placement_problem(self,
+                          probability_matrix: Optional[np.ndarray] = None
+                          ) -> PlacementProblem:
+        """Build the optimization input from the system configuration."""
+        return PlacementProblem(
+            config=self.config.model,
+            topology=self.config.topology,
+            probability_matrix=probability_matrix,
+            tokens_per_step=self.config.tokens_per_step,
+            capacities=self.config.worker_capacities())
+
+    def plan(self, probability_matrix: np.ndarray) -> PlacementSolution:
+        """Solve locality-aware placement for a measured locality profile."""
+        strategy = self.strategy
+        problem = self.placement_problem(probability_matrix)
+        if isinstance(strategy, LocalityAwarePlacement):
+            return strategy.solve(problem)
+        placement = strategy.place(problem)
+        from ..placement.objective import expected_step_comm_time
+        objective = expected_step_comm_time(placement, problem)
+        return PlacementSolution(placement=placement,
+                                 relaxed_assignment=placement.to_binary_tensor(
+                                     problem.num_workers),
+                                 lp_objective=objective,
+                                 rounded_objective=objective)
+
+    def place(self, probability_matrix: np.ndarray) -> Placement:
+        """Compute a placement for ``problem``."""
+        return self.plan(probability_matrix).placement
+
+    # ------------------------------------------------------------------ #
+    # step 3: replay fine-tuning on the simulated cluster
+    # ------------------------------------------------------------------ #
+    def simulate(self, trace: RoutingTrace, placement: Placement,
+                 max_steps: Optional[int] = None,
+                 expert_parallel: bool = False) -> RunMetrics:
+        """Run a fine-tuning trace under a placement.
+
+        ``expert_parallel=True`` uses the conventional all-to-all runtime
+        instead of VELA's master-worker framework.
+        """
+        cfg = self.config
+        engine_cls = ExpertParallelEngine if expert_parallel else MasterWorkerEngine
+        engine = engine_cls(cfg.model, cfg.topology, placement,
+                            cfg.tokens_per_step, cfg.seq_len,
+                            lora_rank=cfg.lora_rank)
+        return engine.run_trace(trace, max_steps=max_steps)
+
+    def run(self, probability_matrix: np.ndarray, trace: RoutingTrace,
+            max_steps: Optional[int] = None) -> Dict[str, object]:
+        """Full pipeline: plan from the profile, then simulate the trace."""
+        solution = self.plan(probability_matrix)
+        metrics = self.simulate(trace, solution.placement, max_steps=max_steps)
+        return {"solution": solution, "metrics": metrics}

@@ -1,0 +1,83 @@
+"""Synthetic Alpaca-style instruction-tuning corpus.
+
+Dialogue-formatted records (instruction / optional input / response) covering
+many unrelated task types.  The *diversity* is deliberate: instruction data
+mixes domains within every sequence, which is what gives Alpaca its more
+uniform expert-access pattern in the paper's Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+_TASKS = [
+    ("Summarize the following passage.",
+     "the quarterly report shows revenue growth across all regions",
+     "Revenue grew in every region this quarter."),
+    ("Translate the sentence into formal register.",
+     "gonna need that file asap",
+     "I will require that file as soon as possible."),
+    ("List three considerations for the plan.",
+     "migrating the database to a new server",
+     "Consider downtime, data integrity, and rollback strategy."),
+    ("Classify the sentiment of this review.",
+     "the device stopped working after two days",
+     "Negative."),
+    ("Write a short poem about the season.",
+     "",
+     "Leaves descend in amber light, the quiet turning of the year."),
+    ("Explain the concept to a beginner.",
+     "what is a hash table",
+     "A hash table stores values by computing an index from each key."),
+    ("Correct the grammar in this sentence.",
+     "she dont have no time today",
+     "She does not have any time today."),
+    ("Suggest a name for the product.",
+     "a lamp that adjusts color with the weather",
+     "SkyGlow."),
+    ("Answer the arithmetic question.",
+     "what is seventeen plus twenty six",
+     "Forty-three."),
+    ("Draft a polite decline to the invitation.",
+     "dinner on friday",
+     "Thank you for the invitation, but I am unable to attend on Friday."),
+]
+
+PROMPT_TEMPLATE = (
+    "### Instruction:\n{instruction}\n"
+    "### Input:\n{input}\n"
+    "### Response:\n{response}\n"
+)
+
+
+@dataclass(frozen=True)
+class AlpacaRecord:
+    """One instruction-tuning record (instruction / input / response)."""
+    instruction: str
+    input: str
+    response: str
+
+    def format(self) -> str:
+        """Render as the Alpaca prompt template."""
+        return PROMPT_TEMPLATE.format(instruction=self.instruction,
+                                      input=self.input, response=self.response)
+
+
+def generate_alpaca_records(num_records: int = 300, seed: int = 13) -> List[AlpacaRecord]:
+    """Sample ``num_records`` task instances (with replacement, shuffled)."""
+    if num_records < 1:
+        raise ValueError("num_records must be positive")
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(num_records):
+        instruction, input_text, response = _TASKS[rng.integers(len(_TASKS))]
+        records.append(AlpacaRecord(instruction, input_text, response))
+    return records
+
+
+def generate_alpaca(num_records: int = 300, seed: int = 13) -> str:
+    """The full corpus as one dialogue-formatted text blob."""
+    return "\n".join(r.format() for r in generate_alpaca_records(num_records, seed))

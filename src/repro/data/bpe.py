@@ -1,0 +1,147 @@
+"""Byte-pair encoding trained from scratch.
+
+Real LLM stacks tokenize with learned subword vocabularies; this is a
+complete, self-contained BPE implementation (trainer + encoder/decoder) so
+the word-level experiments can also run on subword streams.  The algorithm
+is the classic Sennrich et al. procedure: start from characters, repeatedly
+merge the most frequent adjacent pair.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+_END_OF_WORD = "</w>"
+
+
+class BPETokenizer:
+    """A byte-pair-encoding tokenizer.
+
+    Train with :meth:`train` (or the ``corpus`` constructor argument), then
+    ``encode``/``decode``.  The vocabulary is ``<pad>``, ``<unk>``, the
+    single characters of the corpus, and one entry per learned merge.
+    """
+
+    PAD, UNK = "<pad>", "<unk>"
+
+    def __init__(self, corpus: str = "", num_merges: int = 200):
+        self._merges: List[Tuple[str, str]] = []
+        self._merge_ranks: Dict[Tuple[str, str], int] = {}
+        self._stoi: Dict[str, int] = {}
+        self._itos: List[str] = []
+        if corpus:
+            self.train(corpus, num_merges)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train(self, corpus: str, num_merges: int) -> None:
+        """Learn ``num_merges`` merges from ``corpus``."""
+        if num_merges < 0:
+            raise ValueError("num_merges must be non-negative")
+        words = Counter(corpus.split())
+        # each word as a tuple of symbols, terminated by the end marker
+        vocab: Dict[Tuple[str, ...], int] = {
+            tuple(word) + (_END_OF_WORD,): count
+            for word, count in words.items()
+        }
+        self._merges = []
+        for _ in range(num_merges):
+            pairs = self._count_pairs(vocab)
+            if not pairs:
+                break
+            best = max(pairs, key=lambda p: (pairs[p], p))
+            if pairs[best] < 2:
+                break
+            vocab = self._apply_merge(vocab, best)
+            self._merges.append(best)
+
+        self._merge_ranks = {pair: i for i, pair in enumerate(self._merges)}
+        symbols = {self.PAD, self.UNK, _END_OF_WORD}
+        symbols.update(ch for word in words for ch in word)
+        symbols.update(a + b for a, b in self._merges)
+        self._itos = [self.PAD, self.UNK] + sorted(
+            symbols - {self.PAD, self.UNK})
+        self._stoi = {s: i for i, s in enumerate(self._itos)}
+
+    @staticmethod
+    def _count_pairs(vocab: Dict[Tuple[str, ...], int]) -> Counter:
+        pairs: Counter = Counter()
+        for word, count in vocab.items():
+            for a, b in zip(word, word[1:]):
+                pairs[(a, b)] += count
+        return pairs
+
+    @staticmethod
+    def _apply_merge(vocab: Dict[Tuple[str, ...], int],
+                     pair: Tuple[str, str]) -> Dict[Tuple[str, ...], int]:
+        merged_symbol = pair[0] + pair[1]
+        out: Dict[Tuple[str, ...], int] = {}
+        for word, count in vocab.items():
+            symbols: List[str] = []
+            i = 0
+            while i < len(word):
+                if i + 1 < len(word) and (word[i], word[i + 1]) == pair:
+                    symbols.append(merged_symbol)
+                    i += 2
+                else:
+                    symbols.append(word[i])
+                    i += 1
+            out[tuple(symbols)] = out.get(tuple(symbols), 0) + count
+        return out
+
+    # ------------------------------------------------------------------ #
+    # encode / decode
+    # ------------------------------------------------------------------ #
+    @property
+    def vocab_size(self) -> int:
+        """Vocabulary size."""
+        return len(self._itos)
+
+    @property
+    def pad_id(self) -> int:
+        """Padding token id."""
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        """Unknown-token id."""
+        return 1
+
+    @property
+    def num_merges(self) -> int:
+        """Learned BPE merges."""
+        return len(self._merges)
+
+    def _segment_word(self, word: str) -> List[str]:
+        symbols = list(word) + [_END_OF_WORD]
+        while len(symbols) > 1:
+            candidates = [
+                (self._merge_ranks[(a, b)], i)
+                for i, (a, b) in enumerate(zip(symbols, symbols[1:]))
+                if (a, b) in self._merge_ranks
+            ]
+            if not candidates:
+                break
+            _, i = min(candidates)
+            symbols[i:i + 2] = [symbols[i] + symbols[i + 1]]
+        return symbols
+
+    def encode(self, text: str) -> np.ndarray:
+        """Text to integer token ids."""
+        if not self._itos:
+            raise RuntimeError("tokenizer has not been trained")
+        ids: List[int] = []
+        for word in text.split():
+            for symbol in self._segment_word(word):
+                ids.append(self._stoi.get(symbol, self.unk_id))
+        return np.array(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Integer token ids back to text."""
+        tokens = [self._itos[int(i)] for i in ids]
+        text = "".join(t for t in tokens if t not in (self.PAD, self.UNK))
+        return text.replace(_END_OF_WORD, " ").strip()

@@ -1,0 +1,89 @@
+"""Batching data loader for language-model fine-tuning.
+
+Cuts a token stream into fixed-length windows and yields
+``(inputs, targets)`` pairs where targets are inputs shifted by one —
+standard next-token LM setup.  Deterministic shuffling per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+class LMDataLoader:
+    """Iterate ``(batch, seq)`` input/target windows over a token stream.
+
+    Parameters
+    ----------
+    tokens:
+        1-D integer token array.
+    batch_size, seq_len:
+        Window geometry.  The loader needs at least one full window
+        (``seq_len + 1`` tokens).
+    shuffle:
+        Shuffle window order each epoch (seeded).
+    drop_last:
+        Drop the final partial batch (default True, matching typical
+        fine-tuning setups with a fixed batch size).
+    """
+
+    def __init__(self, tokens: np.ndarray, batch_size: int, seq_len: int,
+                 shuffle: bool = True, drop_last: bool = True, seed: int = 0):
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ValueError("tokens must be a 1-D array")
+        if batch_size < 1 or seq_len < 1:
+            raise ValueError("batch_size and seq_len must be positive")
+        if tokens.shape[0] < seq_len + 1:
+            raise ValueError(
+                f"need at least seq_len+1={seq_len + 1} tokens, got {tokens.shape[0]}")
+        self.tokens = tokens.astype(np.int64)
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.seed = seed
+        self._epoch = 0
+        num_windows = (tokens.shape[0] - 1) // seq_len
+        self._window_starts = np.arange(num_windows) * seq_len
+
+    @property
+    def num_windows(self) -> int:
+        """Fixed-length windows available in the token stream."""
+        return len(self._window_starts)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        if self.drop_last:
+            return self.num_windows // self.batch_size
+        return int(np.ceil(self.num_windows / self.batch_size))
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = self._window_starts.copy()
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + self._epoch)
+            rng.shuffle(order)
+        self._epoch += 1
+        for i in range(0, len(order), self.batch_size):
+            chunk = order[i:i + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            inputs = np.stack([self.tokens[s:s + self.seq_len] for s in chunk])
+            targets = np.stack([self.tokens[s + 1:s + self.seq_len + 1] for s in chunk])
+            yield inputs, targets
+
+    def batches(self, num_batches: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield exactly ``num_batches`` batches, cycling over epochs.
+
+        Fine-tuning runs are step-based (the paper uses 500 steps), so this
+        is the iterator trainers actually use.
+        """
+        produced = 0
+        while produced < num_batches:
+            for inputs, targets in self:
+                yield inputs, targets
+                produced += 1
+                if produced >= num_batches:
+                    return

@@ -1,0 +1,76 @@
+"""Synthetic Tiny-Shakespeare corpus.
+
+The real Tiny-Shakespeare file (Karpathy's char-RNN dataset) is unavailable
+offline; this generator produces dialogue in the same *format* — speaker name
+in caps, colon, short archaic-English lines, blank lines between turns — with
+a deterministic seed.  Only the format and character statistics matter to the
+experiments: the corpus exists to drive a character-level LM whose MoE gate
+develops a measurable access bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPEAKERS = [
+    "FIRST CITIZEN", "SECOND CITIZEN", "MENENIUS", "MARCIUS", "SICINIUS",
+    "BRUTUS", "CORIOLANUS", "VOLUMNIA", "AUFIDIUS", "MESSENGER",
+]
+
+_OPENERS = [
+    "Before we proceed any further", "Hear me speak", "Speak, speak",
+    "What says the other troop", "We are accounted poor citizens",
+    "Nay, but speak not maliciously", "I say unto you", "Would you proceed",
+    "Marry, I fear it", "Come, come",
+]
+
+_CLAUSES = [
+    "the gods know I speak this in hunger for bread",
+    "not in thirst for revenge",
+    "the patricians good",
+    "what authority surfeits on would relieve us",
+    "the leanness that afflicts us is an inventory to particularise their abundance",
+    "our sufferance is a gain to them",
+    "let us revenge this with our pikes ere we become rakes",
+    "they say poor suitors have strong breaths",
+    "he did it to please his mother",
+    "to be partly proud",
+    "the rabble should have first unroofed the city",
+    "such a nature tickled with good success",
+    "disdains the shadow which he treads on at noon",
+    "who does the wolf love",
+    "the lamb that baits him",
+]
+
+_CLOSERS = [
+    "Speak no more.", "Let it be so.", "Away, away!", "It shall be done.",
+    "You are all resolved.", "So it must fall out.", "Mark me.",
+    "We shall hear of it.", "No more talking on it.", "Farewell.",
+]
+
+
+def generate_tiny_shakespeare(num_turns: int = 400, seed: int = 7) -> str:
+    """Generate a dialogue corpus of ``num_turns`` speaker turns.
+
+    Deterministic in ``seed``.  A turn is 1–3 sentences built from the phrase
+    banks above, so character-level statistics (letter frequencies,
+    punctuation, capitalized names) resemble the original dataset.
+    """
+    if num_turns < 1:
+        raise ValueError("num_turns must be positive")
+    rng = np.random.default_rng(seed)
+    lines = []
+    for _ in range(num_turns):
+        speaker = _SPEAKERS[rng.integers(len(_SPEAKERS))]
+        num_sentences = int(rng.integers(1, 4))
+        sentences = []
+        for _ in range(num_sentences):
+            opener = _OPENERS[rng.integers(len(_OPENERS))]
+            num_clauses = int(rng.integers(1, 3))
+            clauses = [str(_CLAUSES[rng.integers(len(_CLAUSES))])
+                       for _ in range(num_clauses)]
+            sentences.append(f"{opener}, {', '.join(clauses)}.")
+        closer = _CLOSERS[rng.integers(len(_CLOSERS))]
+        body = " ".join(sentences + [closer])
+        lines.append(f"{speaker}:\n{body}\n")
+    return "\n".join(lines)

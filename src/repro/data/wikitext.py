@@ -1,0 +1,63 @@
+"""Synthetic WikiText-style corpus.
+
+Encyclopedic prose organized into titled articles.  The generator is topic-
+structured on purpose: each article is drawn from one of a few domains with
+its own vocabulary, which is what gives WikiText its *concentrated* expert-
+access pattern in the paper's Fig. 7(a) — domain-specific tokens repeatedly
+hit the same experts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DOMAINS = {
+    "history": {
+        "subjects": ["the battle", "the treaty", "the dynasty", "the siege",
+                     "the expedition", "the rebellion"],
+        "verbs": ["began", "concluded", "was recorded", "was disputed",
+                  "collapsed", "expanded"],
+        "objects": ["in the twelfth century", "under the new charter",
+                    "across the northern provinces", "after prolonged negotiation",
+                    "during the winter campaign", "following the succession crisis"],
+    },
+    "science": {
+        "subjects": ["the compound", "the specimen", "the reaction",
+                     "the observatory", "the theorem", "the isotope"],
+        "verbs": ["was synthesized", "was classified", "decays", "was measured",
+                  "was conjectured", "oscillates"],
+        "objects": ["at low temperature", "with notable precision",
+                    "under laboratory conditions", "in the visible spectrum",
+                    "according to the survey", "within experimental error"],
+    },
+    "geography": {
+        "subjects": ["the river", "the plateau", "the archipelago",
+                     "the escarpment", "the basin", "the peninsula"],
+        "verbs": ["drains", "rises", "extends", "borders", "encloses", "divides"],
+        "objects": ["toward the coastal plain", "above the valley floor",
+                    "along the eastern margin", "into the inland sea",
+                    "through temperate forest", "beneath the watershed"],
+    },
+}
+
+
+def generate_wikitext(num_articles: int = 60, sentences_per_article: int = 12,
+                      seed: int = 11) -> str:
+    """Generate an encyclopedic corpus; deterministic in ``seed``."""
+    if num_articles < 1 or sentences_per_article < 1:
+        raise ValueError("article and sentence counts must be positive")
+    rng = np.random.default_rng(seed)
+    domains = list(_DOMAINS)
+    articles = []
+    for article_id in range(num_articles):
+        domain = domains[rng.integers(len(domains))]
+        bank = _DOMAINS[domain]
+        title = f"= Article {article_id} ( {domain} ) ="
+        sentences = []
+        for _ in range(sentences_per_article):
+            subject = bank["subjects"][rng.integers(len(bank["subjects"]))]
+            verb = bank["verbs"][rng.integers(len(bank["verbs"]))]
+            obj = bank["objects"][rng.integers(len(bank["objects"]))]
+            sentences.append(f"{subject} {verb} {obj} .")
+        articles.append(f"{title}\n" + " ".join(sentences))
+    return "\n\n".join(articles)

@@ -1,0 +1,74 @@
+"""Training-state checkpoints: model + optimizer, resumable.
+
+Long fine-tuning runs need restartability (the failure-recovery story in
+`repro.core.recovery` assumes the master can restore state).  A checkpoint
+bundles the model's parameters with the AdamW moments and step counter so a
+resumed run continues *bit-identically* from where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..nn.layers import Module
+from ..nn.optim import AdamW
+
+
+def optimizer_state_dict(optimizer: AdamW) -> Dict[str, np.ndarray]:
+    """Extract AdamW state as flat arrays (step counter + moments)."""
+    state: Dict[str, np.ndarray] = {
+        "adamw.step": np.array(optimizer._step, dtype=np.int64)}
+    for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        state[f"adamw.m.{i}"] = m
+        state[f"adamw.v.{i}"] = v
+    return state
+
+
+def load_optimizer_state(optimizer: AdamW,
+                         state: Dict[str, np.ndarray]) -> None:
+    """Restore AdamW state saved by :func:`optimizer_state_dict`."""
+    expected = len(optimizer._m)
+    moments = sum(1 for key in state if key.startswith("adamw.m."))
+    if moments != expected:
+        raise ValueError(f"checkpoint has {moments} moment tensors, "
+                         f"optimizer has {expected} parameters")
+    optimizer._step = int(state["adamw.step"])
+    for i in range(expected):
+        m, v = state[f"adamw.m.{i}"], state[f"adamw.v.{i}"]
+        if m.shape != optimizer._m[i].shape:
+            raise ValueError(f"moment {i} shape mismatch: "
+                             f"{m.shape} vs {optimizer._m[i].shape}")
+        optimizer._m[i][...] = m
+        optimizer._v[i][...] = v
+
+
+def save_training_state(model: Module, optimizer: AdamW, path: str,
+                        step: int = 0) -> None:
+    """Write model parameters + optimizer state + step counter to ``.npz``."""
+    payload: Dict[str, np.ndarray] = {
+        f"model.{name}": param.data
+        for name, param in model.named_parameters()
+    }
+    payload.update(optimizer_state_dict(optimizer))
+    payload["train.step"] = np.array(step, dtype=np.int64)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_training_state(model: Module, optimizer: AdamW, path: str) -> int:
+    """Restore a checkpoint; returns the saved step counter."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    model_state = {key[len("model."):]: value
+                   for key, value in payload.items()
+                   if key.startswith("model.")}
+    model.load_state_dict(model_state)
+    optimizer_state = {key: value for key, value in payload.items()
+                       if key.startswith("adamw.")}
+    load_optimizer_state(optimizer, optimizer_state)
+    return int(payload["train.step"])

@@ -1,0 +1,8 @@
+"""Parameter-efficient fine-tuning via Low-Rank Adaptation (LoRA)."""
+
+from .adapter import LoRALinear
+from .config import LoRAConfig
+from .inject import LoRAReport, inject_lora, lora_parameters, merge_lora
+
+__all__ = ["LoRAConfig", "LoRALinear", "LoRAReport", "inject_lora",
+           "merge_lora", "lora_parameters"]

@@ -1,0 +1,76 @@
+"""The LoRA adapter layer.
+
+Implements ``y = W x + (alpha/r) * B A x`` from Hu et al. (LoRA), wrapping an
+existing frozen :class:`~repro.nn.layers.Linear`.  ``A`` is Gaussian-
+initialized and ``B`` starts at zero, so the wrapped layer's initial output
+is bit-identical to the base layer — a property the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.functional import dropout as dropout_fn
+from ..nn.layers import Linear, Module, Parameter
+from ..nn.tensor import Tensor
+from .config import LoRAConfig
+
+
+class LoRALinear(Module):
+    """A frozen linear layer with a trainable low-rank residual branch."""
+
+    def __init__(self, base: Linear, config: LoRAConfig,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(config.seed)
+        self.base = base
+        self.config = config
+        in_features = base.in_features
+        out_features = base.out_features
+        # Freeze the pre-trained weight; only A/B train.
+        for p in base.parameters():
+            p.requires_grad = False
+        self.lora_a = Parameter(rng.normal(0.0, 1.0 / config.rank,
+                                           size=(config.rank, in_features)))
+        self.lora_b = Parameter(np.zeros((out_features, config.rank)))
+        self._dropout_rng = np.random.default_rng(config.seed + 1)
+
+    @property
+    def in_features(self) -> int:
+        """Input feature size."""
+        return self.base.in_features
+
+    @property
+    def out_features(self) -> int:
+        """Output feature size."""
+        return self.base.out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the forward computation."""
+        out = self.base(x)
+        branch_in = x
+        if self.config.dropout > 0:
+            branch_in = dropout_fn(branch_in, self.config.dropout,
+                                   self._dropout_rng, training=self.training)
+        update = (branch_in @ self.lora_a.T) @ self.lora_b.T
+        return out + update * self.config.scaling
+
+    def merged_weight(self) -> np.ndarray:
+        """Return ``W + (alpha/r) B A`` as a dense matrix."""
+        return self.base.weight.data + \
+            self.config.scaling * (self.lora_b.data @ self.lora_a.data)
+
+    def merge(self) -> Linear:
+        """Fold the adapter into a fresh plain :class:`Linear` layer."""
+        merged = Linear(self.in_features, self.out_features,
+                        bias=self.base.bias is not None)
+        merged.weight.data = self.merged_weight().copy()
+        if self.base.bias is not None:
+            merged.bias.data = self.base.bias.data.copy()
+        return merged
+
+    def num_lora_params(self) -> int:
+        """Trainable adapter parameter count."""
+        return int(self.lora_a.size + self.lora_b.size)

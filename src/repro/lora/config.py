@@ -1,0 +1,63 @@
+"""LoRA configuration.
+
+Defaults match the paper's fine-tuning setup (Section V-A): rank 8, alpha 16,
+adapting every linear layer *except* the gating mechanism (fine-tuning the
+gate degrades performance per Shen et al., and a frozen gate is also what
+makes the locality profile a safe placement input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LoRAConfig:
+    """Hyperparameters for low-rank adaptation.
+
+    Attributes
+    ----------
+    rank:
+        The inner dimension ``d`` of the ``B @ A`` update.
+    alpha:
+        Scaling numerator; the effective update is ``(alpha / rank) * B A x``.
+    target_substrings:
+        A linear layer is adapted iff its dotted module path contains one of
+        these substrings *and* none of ``exclude_substrings``.
+    exclude_substrings:
+        Paths to skip — by default the router, to keep the gate frozen.
+    dropout:
+        Dropout applied to the LoRA branch input (0 disables).
+    seed:
+        Seed for the A-matrix initialization.
+    """
+
+    rank: int = 8
+    alpha: float = 16.0
+    target_substrings: Tuple[str, ...] = (
+        "q_proj", "k_proj", "v_proj", "o_proj",
+        "w_gate", "w_up", "w_down", "lm_head",
+    )
+    exclude_substrings: Tuple[str, ...] = ("gate.router",)
+    dropout: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"rank must be >= 1, got {self.rank}")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+
+    @property
+    def scaling(self) -> float:
+        """Effective LoRA scale ``alpha / rank``."""
+        return self.alpha / self.rank
+
+    def matches(self, module_path: str) -> bool:
+        """Whether a module at ``module_path`` should receive an adapter."""
+        if any(excl in module_path for excl in self.exclude_substrings):
+            return False
+        return any(t in module_path for t in self.target_substrings)

@@ -1,0 +1,124 @@
+"""Model configurations.
+
+A single :class:`MoEModelConfig` describes both the tiny models we actually
+instantiate (TinyMistral-style) and the industry-scale models we simulate at
+the routing-trace level (Mixtral-8x7B, GritLM-8x7B).  The placement and
+communication layers only read the routing-relevant fields (``num_layers``,
+``num_experts``, ``top_k``, ``hidden_size``, ``bits_per_feature``), so one
+config type serves both uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+# Instantiating a real numpy model above this many parameters is almost
+# certainly a mistake (Mixtral-scale configs are trace-simulation only).
+_BUILDABLE_PARAM_LIMIT = 50_000_000
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Architecture description of a sparse MoE transformer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (appears in experiment reports).
+    vocab_size, hidden_size, num_heads, ffn_hidden_size, max_seq_len:
+        Standard transformer dimensions.  ``ffn_hidden_size`` is the expert
+        FFN's intermediate size.
+    num_layers:
+        Number of MoE blocks (``L`` in the paper).
+    num_experts:
+        Experts per block (``E`` in the paper).
+    top_k:
+        Experts selected per token.
+    bits_per_feature:
+        Bit depth ``b`` of the activations exchanged between master and
+        workers (16 for the paper's mixed-precision setup).
+    aux_loss_weight:
+        Weight of the Switch-style load-balancing auxiliary loss.  Non-zero
+        during pre-training (the paper notes pre-training enforces balance),
+        zero during fine-tuning.
+    """
+
+    name: str
+    vocab_size: int
+    hidden_size: int
+    num_layers: int
+    num_experts: int
+    top_k: int
+    num_heads: int
+    ffn_hidden_size: int
+    max_seq_len: int = 512
+    bits_per_feature: int = 16
+    aux_loss_weight: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1 or self.top_k > self.num_experts:
+            raise ValueError(
+                f"top_k={self.top_k} must be in [1, num_experts={self.num_experts}]")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        for field_name in ("vocab_size", "hidden_size", "num_layers",
+                           "num_experts", "num_heads", "ffn_hidden_size",
+                           "max_seq_len", "bits_per_feature"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # ------------------------------------------------------------------ #
+    # derived sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def total_experts(self) -> int:
+        """Number of expert modules across all blocks (``L * E``)."""
+        return self.num_layers * self.num_experts
+
+    def expert_num_params(self) -> int:
+        """Parameters of one SwiGLU expert (three weight matrices)."""
+        return 3 * self.hidden_size * self.ffn_hidden_size
+
+    def expert_nbytes(self, bytes_per_param: int = 2) -> int:
+        """Memory footprint of one expert at the given precision."""
+        return self.expert_num_params() * bytes_per_param
+
+    def backbone_num_params(self) -> int:
+        """Approximate non-expert parameter count (attention + norms + embeds)."""
+        attn = 4 * self.hidden_size * self.hidden_size
+        norms = 3 * self.hidden_size
+        per_layer = attn + norms
+        embeds = self.vocab_size * self.hidden_size * 2 + \
+            self.max_seq_len * self.hidden_size
+        return self.num_layers * per_layer + embeds + self.hidden_size
+
+    def total_num_params(self) -> int:
+        """Approximate full model parameter count."""
+        gates = self.num_layers * self.hidden_size * self.num_experts
+        return (self.backbone_num_params() + gates
+                + self.total_experts * self.expert_num_params())
+
+    def token_feature_nbytes(self) -> float:
+        """Bytes transferred per token feature vector (``b * H / 8``)."""
+        return self.bits_per_feature * self.hidden_size / 8.0
+
+    # ------------------------------------------------------------------ #
+    # guards / helpers
+    # ------------------------------------------------------------------ #
+    def is_buildable(self) -> bool:
+        """Whether this config is small enough to instantiate as a real model."""
+        return self.total_num_params() <= _BUILDABLE_PARAM_LIMIT
+
+    def assert_buildable(self) -> None:
+        """Raise unless the config is small enough to instantiate."""
+        if not self.is_buildable():
+            raise ValueError(
+                f"config '{self.name}' has ~{self.total_num_params():,} parameters; "
+                "it is a trace-simulation spec, not an instantiable model. "
+                "Use repro.routing.synthetic for this scale.")
+
+    def with_overrides(self, **kwargs) -> "MoEModelConfig":
+        """Return a modified copy (frozen dataclass convenience)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,60 @@
+"""Expert feed-forward networks.
+
+Each expert is a SwiGLU FFN, the variant used by the Mistral/Mixtral family:
+``out = W2 (silu(W1 x) * W3 x)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor
+
+
+class ExpertFFN(Module):
+    """A single SwiGLU expert.
+
+    The three projection matrices give the expert ``3 * hidden * ffn_hidden``
+    parameters — the quantity the cluster memory model uses to derive worker
+    capacities ``C_n``.
+    """
+
+    def __init__(self, hidden_size: int, ffn_hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.ffn_hidden_size = ffn_hidden_size
+        self.w_gate = Linear(hidden_size, ffn_hidden_size, bias=False, rng=rng)
+        self.w_up = Linear(hidden_size, ffn_hidden_size, bias=False, rng=rng)
+        self.w_down = Linear(ffn_hidden_size, hidden_size, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the expert to tokens of shape ``(n, hidden_size)``."""
+        return self.w_down(self.w_gate(x).silu() * self.w_up(x))
+
+    def num_params(self) -> int:
+        """Parameter count."""
+        return 3 * self.hidden_size * self.ffn_hidden_size
+
+    def nbytes(self, bytes_per_param: int = 2) -> int:
+        """Footprint at a given precision (2 bytes = fp16, as in the paper)."""
+        return self.num_params() * bytes_per_param
+
+
+class DenseFFN(Module):
+    """A plain (non-MoE) SwiGLU FFN, used for dense-baseline comparisons."""
+
+    def __init__(self, hidden_size: int, ffn_hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self._expert = ExpertFFN(hidden_size, ffn_hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the forward computation."""
+        batch, seq, hidden = x.shape
+        flat = x.reshape(batch * seq, hidden)
+        return self._expert(flat).reshape(batch, seq, hidden)

@@ -1,0 +1,127 @@
+"""The MoE block: gate + experts + dispatch/combine.
+
+The forward pass mirrors the paper's Fig. 1 description: the input
+``(batch, seq, hidden)`` tensor is flattened to tokens, each token is routed
+to its top-k experts, expert outputs are combined with the normalized softmax
+weights of Eq. (1), and the output is reshaped back.
+
+Every forward pass can emit a :class:`BlockRoutingRecord`, the raw material
+for locality profiling and for the communication simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.functional import scatter_rows
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from .expert import ExpertFFN
+from .gating import GateOutput, TopKGate
+
+
+@dataclass
+class BlockRoutingRecord:
+    """Routing decisions of one MoE block for one batch.
+
+    ``expert_indices`` has shape ``(tokens, top_k)``;
+    ``selected_scores`` are the raw (unnormalized) softmax scores of the
+    selected experts; ``probs`` is the full ``(tokens, num_experts)`` softmax
+    matrix (detached numpy copies — records never hold autograd graphs).
+    """
+
+    layer: int
+    expert_indices: np.ndarray
+    selected_scores: np.ndarray
+    probs: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        """Token count."""
+        return self.expert_indices.shape[0]
+
+    def access_counts(self, num_experts: int) -> np.ndarray:
+        """Token selections per expert."""
+        return np.bincount(self.expert_indices.reshape(-1),
+                           minlength=num_experts).astype(np.int64)
+
+    def tokens_per_expert(self, num_experts: int) -> np.ndarray:
+        """Alias for :meth:`access_counts` (the ``K_{n,l}`` inputs of Eq. (6))."""
+        return self.access_counts(num_experts)
+
+
+class MoEBlock(Module):
+    """Sparsely activated FFN layer with ``num_experts`` experts.
+
+    Parameters mirror :class:`repro.models.config.MoEModelConfig`.  Set
+    ``layer_index`` so emitted routing records identify their block.
+    """
+
+    def __init__(self, hidden_size: int, ffn_hidden_size: int, num_experts: int,
+                 top_k: int, layer_index: int = 0, aux_loss_weight: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.layer_index = layer_index
+        self.gate = TopKGate(hidden_size, num_experts, top_k,
+                             aux_loss_weight=aux_loss_weight, rng=rng)
+        self.experts = [ExpertFFN(hidden_size, ffn_hidden_size, rng=rng)
+                        for _ in range(num_experts)]
+        self.last_record: Optional[BlockRoutingRecord] = None
+        self.last_aux_loss: Optional[Tensor] = None
+        self.record_routing = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the block to ``(batch, seq, hidden)`` input."""
+        batch, seq, hidden = x.shape
+        tokens = x.reshape(batch * seq, hidden)
+        gate_out: GateOutput = self.gate(tokens)
+        self.last_aux_loss = gate_out.aux_loss
+
+        if self.record_routing:
+            rows = np.arange(gate_out.num_tokens)[:, None]
+            self.last_record = BlockRoutingRecord(
+                layer=self.layer_index,
+                expert_indices=gate_out.expert_indices.copy(),
+                selected_scores=gate_out.probs.data[rows, gate_out.expert_indices].copy(),
+                probs=gate_out.probs.data.copy(),
+            )
+
+        output = self._dispatch_combine(tokens, gate_out)
+        return output.reshape(batch, seq, hidden)
+
+    def _dispatch_combine(self, tokens: Tensor, gate_out: GateOutput) -> Tensor:
+        """Send tokens through their selected experts and combine the results.
+
+        Tokens are grouped per (slot, expert) so each expert runs once per
+        slot on a contiguous batch — the same "dispatch" structure expert
+        parallelism uses, which keeps this faithful to the systems being
+        modeled.
+        """
+        num_tokens = tokens.shape[0]
+        contributions: List[Tensor] = []
+        for slot in range(self.top_k):
+            slot_experts = gate_out.expert_indices[:, slot]
+            slot_weights = gate_out.combine_weights[(np.arange(num_tokens),
+                                                     np.full(num_tokens, slot))]
+            for expert_id in np.unique(slot_experts):
+                token_ids = np.nonzero(slot_experts == expert_id)[0]
+                expert_in = tokens[token_ids]
+                expert_out = self.experts[int(expert_id)](expert_in)
+                weights = slot_weights[token_ids].reshape(-1, 1)
+                contributions.append(
+                    scatter_rows(expert_out * weights, token_ids, num_tokens))
+        total = contributions[0]
+        for extra in contributions[1:]:
+            total = total + extra
+        return total
+
+    def expert_modules(self) -> List[ExpertFFN]:
+        """The expert submodules, in id order."""
+        return list(self.experts)

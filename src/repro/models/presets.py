@@ -1,0 +1,136 @@
+"""Model presets.
+
+``tiny_mistral`` mirrors the routing topology of the TinyMistral-6x248M model
+the paper's Section III measures (12 MoE blocks, 6 experts, top-2) at a scale
+we can actually fine-tune on CPU.  ``mixtral_8x7b_sim`` / ``gritlm_8x7b_sim``
+carry the routing- and communication-relevant dimensions of the paper's
+evaluation models (32 blocks, 8 experts, top-2, hidden 4096, fp16 activations)
+and are consumed by the trace-level simulator — they are intentionally not
+buildable as live numpy models.
+"""
+
+from __future__ import annotations
+
+from .config import MoEModelConfig
+from .transformer import MoETransformer
+
+
+def tiny_mistral(seed: int = 0, **overrides) -> MoEModelConfig:
+    """TinyMistral-6x248M routing topology at CPU-trainable scale.
+
+    12 MoE blocks x 6 experts, top-2 — identical routing structure to the
+    measurement model of the paper's Fig. 3, with hidden sizes shrunk so a
+    full fine-tune runs in seconds.
+    """
+    config = MoEModelConfig(
+        name="tiny-mistral-6x",
+        vocab_size=96,
+        hidden_size=32,
+        num_layers=12,
+        num_experts=6,
+        top_k=2,
+        num_heads=4,
+        ffn_hidden_size=64,
+        max_seq_len=128,
+        bits_per_feature=16,
+        seed=seed,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def nano_moe(seed: int = 0, **overrides) -> MoEModelConfig:
+    """A minimal 2-block MoE used by fast unit tests."""
+    config = MoEModelConfig(
+        name="nano-moe",
+        vocab_size=64,
+        hidden_size=16,
+        num_layers=2,
+        num_experts=4,
+        top_k=2,
+        num_heads=2,
+        ffn_hidden_size=32,
+        max_seq_len=64,
+        bits_per_feature=16,
+        seed=seed,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def mixtral_8x7b_sim(**overrides) -> MoEModelConfig:
+    """Mixtral-8x7B routing/communication spec (trace simulation only).
+
+    32 blocks x 8 experts, top-2, hidden 4096, 16-bit activations — the
+    dimensions the paper's Section V traffic arithmetic uses (16.4 MB per
+    block exchange, ~866 MB/node/step).
+    """
+    config = MoEModelConfig(
+        name="mixtral-8x7b-sim",
+        vocab_size=32000,
+        hidden_size=4096,
+        num_layers=32,
+        num_experts=8,
+        top_k=2,
+        num_heads=32,
+        ffn_hidden_size=14336,
+        max_seq_len=4096,
+        bits_per_feature=16,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def gritlm_8x7b_sim(**overrides) -> MoEModelConfig:
+    """GritLM-8x7B spec — architecturally identical to Mixtral-8x7B.
+
+    The paper's GritLM is Mixtral fine-tuned on instruction data; for the
+    communication layer only the routing statistics differ, which the
+    synthetic router models with a different locality profile.
+    """
+    config = mixtral_8x7b_sim().with_overrides(name="gritlm-8x7b-sim")
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def switch_xxl_sim(**overrides) -> MoEModelConfig:
+    """A Switch-Transformer-style spec: many experts, top-1 routing.
+
+    Top-1 routing halves the per-token traffic relative to top-2 but makes
+    load concentration extreme — a stress case for the placement LP.
+    """
+    config = MoEModelConfig(
+        name="switch-xxl-sim",
+        vocab_size=32000,
+        hidden_size=4096,
+        num_layers=24,
+        num_experts=64,
+        top_k=1,
+        num_heads=32,
+        ffn_hidden_size=10240,
+        max_seq_len=2048,
+        bits_per_feature=16,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def deepseek_moe_sim(**overrides) -> MoEModelConfig:
+    """A DeepSeek-MoE-style spec: fine-grained experts, top-6 routing.
+
+    Many small experts with high top-k spread token load widely; the
+    architecture sweep uses this as the diffuse extreme.
+    """
+    config = MoEModelConfig(
+        name="deepseek-moe-sim",
+        vocab_size=32000,
+        hidden_size=2048,
+        num_layers=28,
+        num_experts=64,
+        top_k=6,
+        num_heads=16,
+        ffn_hidden_size=1408,
+        max_seq_len=4096,
+        bits_per_feature=16,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def build_model(config: MoEModelConfig) -> MoETransformer:
+    """Instantiate a live model from a buildable config."""
+    return MoETransformer(config)

@@ -1,0 +1,147 @@
+"""The MoE transformer: backbone + detachable expert layers.
+
+:class:`MoETransformer` is a decoder-only language model whose FFN layers are
+:class:`~repro.models.moe_block.MoEBlock` instances.  It exposes the
+backbone/expert split that VELA's framework design (Section IV-A) relies on:
+``backbone_parameters()`` excludes all expert weights, and ``iter_experts()``
+enumerates the ``L x E`` expert modules that get distributed to workers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.attention import MultiHeadAttention
+from ..nn.functional import cross_entropy
+from ..nn.layers import Embedding, Linear, Module, Parameter, RMSNorm
+from ..nn.tensor import Tensor
+from .config import MoEModelConfig
+from .expert import ExpertFFN
+from .moe_block import BlockRoutingRecord, MoEBlock
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + MoE FFN with residuals."""
+
+    def __init__(self, config: MoEModelConfig, layer_index: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.attn_norm = RMSNorm(config.hidden_size)
+        self.attn = MultiHeadAttention(config.hidden_size, config.num_heads,
+                                       causal=True, rng=rng)
+        self.ffn_norm = RMSNorm(config.hidden_size)
+        self.moe = MoEBlock(config.hidden_size, config.ffn_hidden_size,
+                            config.num_experts, config.top_k,
+                            layer_index=layer_index,
+                            aux_loss_weight=config.aux_loss_weight, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the forward computation."""
+        x = x + self.attn(self.attn_norm(x))
+        x = x + self.moe(self.ffn_norm(x))
+        return x
+
+
+class MoETransformer(Module):
+    """Decoder-only MoE language model.
+
+    Build only from configs that pass ``config.assert_buildable()`` — the
+    Mixtral-scale presets are trace-simulation specs (see DESIGN.md §1).
+    """
+
+    def __init__(self, config: MoEModelConfig):
+        super().__init__()
+        config.assert_buildable()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_size, rng=rng)
+        self.position_embedding = Parameter(
+            np.zeros((config.max_seq_len, config.hidden_size)))
+        self.blocks = [TransformerBlock(config, layer_index=i, rng=rng)
+                       for i in range(config.num_layers)]
+        self.final_norm = RMSNorm(config.hidden_size)
+        self.lm_head = Linear(config.hidden_size, config.vocab_size,
+                              bias=False, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # forward / loss
+    # ------------------------------------------------------------------ #
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """Return next-token logits for ``token_ids`` of shape ``(batch, seq)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"expected (batch, seq) token ids, got {token_ids.shape}")
+        seq = token_ids.shape[1]
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds max_seq_len "
+                             f"{self.config.max_seq_len}")
+        x = self.token_embedding(token_ids) + self.position_embedding[:seq]
+        for block in self.blocks:
+            x = block(x)
+        return self.lm_head(self.final_norm(x))
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Cross-entropy LM loss, plus any gate auxiliary losses."""
+        logits = self.forward(token_ids)
+        loss = cross_entropy(logits, targets)
+        for block in self.blocks:
+            aux = block.moe.last_aux_loss
+            if aux is not None:
+                loss = loss + aux
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # backbone / expert split (VELA Section IV-A)
+    # ------------------------------------------------------------------ #
+    def iter_experts(self) -> Iterator[Tuple[int, int, ExpertFFN]]:
+        """Yield ``(layer, expert_id, module)`` for every expert in the model."""
+        for layer, block in enumerate(self.blocks):
+            for expert_id, expert in enumerate(block.moe.experts):
+                yield layer, expert_id, expert
+
+    def expert_parameters(self) -> List[Parameter]:
+        """Parameters belonging to expert layers."""
+        params: List[Parameter] = []
+        for _, _, expert in self.iter_experts():
+            params.extend(expert.parameters())
+        return params
+
+    def backbone_parameters(self) -> List[Parameter]:
+        """Parameters outside the expert layers."""
+        expert_ids = {id(p) for p in self.expert_parameters()}
+        return [p for p in self.parameters() if id(p) not in expert_ids]
+
+    def gate_parameters(self) -> List[Parameter]:
+        """The (frozen-in-fine-tuning) router parameters."""
+        params: List[Parameter] = []
+        for block in self.blocks:
+            params.extend(block.moe.gate.parameters())
+        return params
+
+    # ------------------------------------------------------------------ #
+    # routing introspection
+    # ------------------------------------------------------------------ #
+    def routing_records(self) -> List[BlockRoutingRecord]:
+        """Routing records of the most recent forward pass, one per block."""
+        records = []
+        for block in self.blocks:
+            if block.moe.last_record is None:
+                raise RuntimeError("no forward pass has been run yet")
+            records.append(block.moe.last_record)
+        return records
+
+    def set_record_routing(self, enabled: bool) -> None:
+        """Enable or disable routing-record capture."""
+        for block in self.blocks:
+            block.moe.record_routing = enabled
+
+    # convenient sizes ---------------------------------------------------
+    def num_expert_params(self) -> int:
+        """Parameter count across all experts."""
+        return sum(e.num_params() for _, _, e in self.iter_experts())
+
+    def num_backbone_params(self) -> int:
+        """Parameter count of the backbone."""
+        return int(sum(p.size for p in self.backbone_parameters()))

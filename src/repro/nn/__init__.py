@@ -1,0 +1,26 @@
+"""Numpy-backed autograd substrate.
+
+Public surface: :class:`Tensor`, layer modules, optimizers and the functional
+namespace.  This replaces PyTorch for the reproduction (see DESIGN.md §1).
+"""
+
+from . import functional
+from .attention import MultiHeadAttention, causal_mask
+from .layers import (Dropout, Embedding, LayerNorm, Linear, Module, Parameter,
+                     RMSNorm, Sequential)
+from .optim import SGD, AdamW, GradClipper, Optimizer
+from .schedule import ConstantLR, LRScheduler, StepDecayLR, WarmupCosineLR
+from .serialize import checkpoint_nbytes, load_checkpoint, save_checkpoint
+from .tensor import (Tensor, concatenate, is_grad_enabled, no_grad, ones,
+                     stack, tensor, where, zeros)
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "concatenate", "stack", "where",
+    "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "RMSNorm",
+    "Dropout", "Sequential", "MultiHeadAttention", "causal_mask",
+    "Optimizer", "SGD", "AdamW", "GradClipper",
+    "LRScheduler", "ConstantLR", "WarmupCosineLR", "StepDecayLR",
+    "save_checkpoint", "load_checkpoint", "checkpoint_nbytes",
+    "functional",
+]

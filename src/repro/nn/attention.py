@@ -1,0 +1,77 @@
+"""Multi-head self-attention with causal masking.
+
+This is the attention block of the backbone transformer.  It is deliberately
+simple (no KV caching, no rotary embeddings beyond a learned positional
+embedding in the model) because the reproduction's claims concern the MoE
+routing layers, not attention throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .functional import softmax
+from .layers import Linear, Module
+from .tensor import Tensor
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Return an additive causal mask of shape ``(seq_len, seq_len)``.
+
+    Entries above the diagonal are ``-inf`` surrogates (-1e9) so softmax
+    assigns them ~zero weight.
+    """
+    mask = np.triu(np.ones((seq_len, seq_len)), k=1) * -1e9
+    return mask
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention.
+
+    Parameters
+    ----------
+    dim:
+        Model feature size (must be divisible by ``num_heads``).
+    num_heads:
+        Number of attention heads.
+    causal:
+        If True (default), apply a causal mask for autoregressive LM training.
+    """
+
+    def __init__(self, dim: int, num_heads: int, causal: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.k_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.v_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.o_proj = Linear(dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply self-attention to ``x`` of shape ``(batch, seq, dim)``."""
+        batch, seq, _ = x.shape
+        heads, hd = self.num_heads, self.head_dim
+
+        def split_heads(t: Tensor) -> Tensor:
+            # (b, s, d) -> (b, h, s, hd)
+            return t.reshape(batch, seq, heads, hd).transpose(0, 2, 1, 3)
+
+        q = split_heads(self.q_proj(x))
+        k = split_heads(self.k_proj(x))
+        v = split_heads(self.v_proj(x))
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(hd))
+        if self.causal:
+            scores = scores + causal_mask(seq)
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (b, h, s, hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(merged)

@@ -1,0 +1,176 @@
+"""Stateless differentiable functions built on :class:`repro.nn.tensor.Tensor`.
+
+These cover what an MoE transformer needs: numerically stable softmax /
+log-softmax, cross-entropy over token logits, embedding lookup, top-k
+selection (used by the MoE gate), and a handful of helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _as_tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        # d softmax = s * (g - sum(g * s))
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (g - dot),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(g: np.ndarray):
+        return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., vocab)``.
+    targets:
+        Integer array broadcastable to ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions are excluded from the mean (e.g. padding).
+    """
+    logits = _as_tensor(logits)
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones(flat_targets.shape, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("cross_entropy received no valid targets")
+
+    logp = log_softmax(flat_logits, axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked_data = logp.data[rows, safe_targets]
+    loss_value = -(picked_data * mask).sum() / count
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(logp.data)
+        grad[rows, safe_targets] = -(mask.astype(logp.data.dtype)) / count
+        return (grad * g,)
+
+    return Tensor._make(np.asarray(loss_value), (logp,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices`` (differentiable)."""
+    weight = _as_tensor(weight)
+    indices = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    indices = indices.astype(np.int64)
+    out_data = weight.data[indices]
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, indices.reshape(-1), g.reshape(-1, weight.shape[-1]))
+        return (grad,)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def top_k(x: np.ndarray, k: int, axis: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, indices)`` of the ``k`` largest entries along ``axis``.
+
+    Indices are ordered by descending value, matching ``torch.topk``.  This is
+    a non-differentiable helper used by the MoE gate's routing decision (the
+    gradient flows through the softmax weights, not through the argmax).
+    """
+    x = x.data if isinstance(x, Tensor) else np.asarray(x)
+    if k <= 0 or k > x.shape[axis]:
+        raise ValueError(f"k={k} out of range for axis of size {x.shape[axis]}")
+    part = np.argpartition(-x, k - 1, axis=axis)
+    idx = np.take(part, np.arange(k), axis=axis)
+    vals = np.take_along_axis(x, idx, axis=axis)
+    order = np.argsort(-vals, axis=axis, kind="stable")
+    idx = np.take_along_axis(idx, order, axis=axis)
+    vals = np.take_along_axis(vals, order, axis=axis)
+    return vals, idx
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer indices to a one-hot float array (non-differentiable)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = _as_tensor(x)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    out_data = x.data * mask
+    return Tensor._make(out_data, (x,), lambda g: (g * mask,))
+
+
+def scatter_rows(values: Tensor, row_ids: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter-add ``values`` (shape ``(n, d)``) into a zero matrix of shape
+    ``(num_rows, d)`` at rows ``row_ids``.
+
+    This is the token "combine" step of an MoE block: expert outputs computed
+    on a token subset are added back at the tokens' original positions.
+    Differentiable in ``values``.
+    """
+    values = _as_tensor(values)
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    if row_ids.ndim != 1 or values.data.ndim != 2:
+        raise ValueError("scatter_rows expects 1-D row_ids and 2-D values")
+    if row_ids.shape[0] != values.data.shape[0]:
+        raise ValueError("row_ids and values must agree on the first dimension")
+    out_data = np.zeros((num_rows, values.data.shape[1]), dtype=values.data.dtype)
+    np.add.at(out_data, row_ids, values.data)
+
+    def backward(g: np.ndarray):
+        return (g[row_ids],)
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU activation."""
+    x = _as_tensor(x)
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + t)
+
+    def backward(g: np.ndarray):
+        dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        return (g * (0.5 * (1.0 + t) + 0.5 * x.data * dt),)
+
+    return Tensor._make(out_data, (x,), backward)

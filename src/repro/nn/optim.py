@@ -1,0 +1,124 @@
+"""Optimizers: SGD (used by the Theorem-1 analysis) and AdamW (used for LoRA
+fine-tuning, matching the paper's hyperparameters: lr 3e-5, betas (0.8, 0.999),
+eps 1e-8, weight decay 3e-7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter]):
+        self.params: List[Parameter] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one update."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) stochastic gradient descent.
+
+    Theorem 1 of the paper assumes ``w_t = w_{t-1} - mu * grad``; this class
+    with ``momentum=0`` implements exactly that update.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class AdamW(Optimizer):
+    """AdamW with decoupled weight decay.
+
+    Defaults follow the paper's fine-tuning settings (Section V-A).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 3e-5,
+                 betas: tuple = (0.8, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 3e-7):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update."""
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class GradClipper:
+    """Global-norm gradient clipping helper."""
+
+    def __init__(self, max_norm: float):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def clip(self, params: Iterable[Parameter]) -> float:
+        """Scale gradients in place; return the pre-clip global norm."""
+        params = [p for p in params if p.grad is not None]
+        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+        if total > self.max_norm and total > 0:
+            scale = self.max_norm / total
+            for p in params:
+                p.grad = p.grad * scale
+        return total

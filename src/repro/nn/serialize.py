@@ -1,0 +1,38 @@
+"""Parameter (de)serialization for checkpoints.
+
+Checkpoints are ``.npz`` archives mapping dotted parameter names to arrays.
+This is what `repro.models.presets` uses to cache the "pre-trained" tiny
+models so the locality experiments start from a converged router.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Save every parameter of ``module`` to an ``.npz`` file at ``path``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # npz keys cannot contain '/', and dots are fine.
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state, strict=strict)
+
+
+def checkpoint_nbytes(module: Module) -> int:
+    """Total parameter bytes of a module (used by the memory model tests)."""
+    return int(sum(p.data.nbytes for p in module.parameters()))

@@ -1,0 +1,38 @@
+"""Expert placement strategies (the paper's Section IV-B and baselines)."""
+
+from .base import Placement, PlacementProblem, PlacementStrategy
+from .expert_parallel import ExpertParallelPlacement
+from .greedy import GreedyPlacement
+from .hierarchical import HierarchicalPlacement
+from .local_search import (LocalSearchRefiner, RefinedLocalityPlacement,
+                           RefinementReport)
+from .lp import PlacementLP, build_placement_lp, comm_coefficients, solve_lp_scipy
+from .milp import ExactMILPPlacement
+from .objective import (expected_cross_node_bytes, expected_step_comm_time,
+                        expected_worker_times, relaxed_objective)
+from .io import load_placement, save_placement
+from .random_ import RandomPlacement
+from .replication import (ReplicatedPlacement, ReplicationReport,
+                          ReplicationStrategy,
+                          expected_step_comm_time_replicated)
+from .rounding import round_relaxed_assignment, rounding_gap
+from .sequential import SequentialPlacement
+from .simplex import SimplexError, simplex_solve
+from .vela import LocalityAwarePlacement, PlacementSolution, solve_lp_simplex
+
+__all__ = [
+    "Placement", "PlacementProblem", "PlacementStrategy",
+    "SequentialPlacement", "RandomPlacement", "ExpertParallelPlacement",
+    "GreedyPlacement", "ExactMILPPlacement", "LocalityAwarePlacement",
+    "HierarchicalPlacement", "RefinedLocalityPlacement",
+    "LocalSearchRefiner", "RefinementReport",
+    "PlacementSolution", "PlacementLP", "build_placement_lp",
+    "comm_coefficients", "solve_lp_scipy", "solve_lp_simplex",
+    "round_relaxed_assignment", "rounding_gap",
+    "expected_step_comm_time", "expected_worker_times",
+    "expected_cross_node_bytes", "relaxed_objective",
+    "simplex_solve", "SimplexError",
+    "save_placement", "load_placement",
+    "ReplicatedPlacement", "ReplicationStrategy", "ReplicationReport",
+    "expected_step_comm_time_replicated",
+]

@@ -1,0 +1,192 @@
+"""Expert placement: the decision variable of the paper's optimization.
+
+A :class:`Placement` is the binary tensor ``X[N, L, E]`` of Section IV-B:
+``X[n, l, e] = 1`` iff expert ``e`` of MoE block ``l`` is hosted by worker
+``n``.  Validity (each expert on exactly one worker, capacities respected)
+is enforced at construction.
+
+:class:`PlacementStrategy` is the interface every placement algorithm
+implements; :class:`PlacementProblem` bundles the inputs they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """Inputs to an expert-placement decision.
+
+    Attributes
+    ----------
+    config:
+        The MoE model being placed (supplies ``L``, ``E``, ``H``, ``b``).
+    topology:
+        The cluster (supplies ``N`` and the bandwidths ``B_n``).
+    probability_matrix:
+        The locality profile ``P[l, e]`` measured before fine-tuning.
+        Strategies that ignore locality (sequential, random) accept None.
+    tokens_per_step:
+        ``K`` — batch size x sequence length.
+    capacities:
+        ``C_n`` per worker.  None means unconstrained (capacity = L*E).
+    """
+
+    config: MoEModelConfig
+    topology: ClusterTopology
+    probability_matrix: Optional[np.ndarray] = None
+    tokens_per_step: int = 4096
+    capacities: Optional[Sequence[int]] = None
+    # Per-worker effective bandwidths replacing the topology's master links
+    # (used by multi-master setups, where each worker is reached from
+    # several masters and the LP sees a harmonic-mean bandwidth).
+    bandwidth_override: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_step < 1:
+            raise ValueError("tokens_per_step must be positive")
+        if self.bandwidth_override is not None:
+            bw = list(self.bandwidth_override)
+            if len(bw) != self.topology.num_workers:
+                raise ValueError("bandwidth_override length must equal "
+                                 "num_workers")
+            if any(b <= 0 for b in bw):
+                raise ValueError("bandwidth_override must be positive")
+        if self.probability_matrix is not None:
+            p = np.asarray(self.probability_matrix)
+            expected = (self.config.num_layers, self.config.num_experts)
+            if p.shape != expected:
+                raise ValueError(f"probability_matrix shape {p.shape} != {expected}")
+            if np.any(p < 0):
+                raise ValueError("probability_matrix has negative entries")
+        caps = self.effective_capacities()
+        total = self.config.total_experts
+        if sum(caps) < total:
+            raise ValueError(f"capacities sum to {sum(caps)} < {total} experts")
+
+    @property
+    def num_workers(self) -> int:
+        """Worker process count."""
+        return self.topology.num_workers
+
+    def effective_bandwidths(self) -> list:
+        """``B_n`` per worker: the override if set, else the master links."""
+        if self.bandwidth_override is not None:
+            return [float(b) for b in self.bandwidth_override]
+        return self.topology.master_bandwidths()
+
+    def effective_capacities(self) -> List[int]:
+        """Capacities with the unconstrained default filled in."""
+        if self.capacities is None:
+            return [self.config.total_experts] * self.topology.num_workers
+        caps = [int(c) for c in self.capacities]
+        if len(caps) != self.topology.num_workers:
+            raise ValueError("capacities length must equal num_workers")
+        if any(c < 0 for c in caps):
+            raise ValueError("capacities must be non-negative")
+        return caps
+
+
+class Placement:
+    """A validated expert-to-worker assignment."""
+
+    def __init__(self, assignment: np.ndarray, capacities: Optional[Sequence[int]] = None,
+                 name: str = ""):
+        """``assignment[l, e]`` is the worker id hosting expert ``(l, e)``.
+
+        The dense binary tensor form ``X[N, L, E]`` is available via
+        :meth:`to_binary_tensor`; the compact integer form is the primary
+        representation because it is valid by construction on the
+        "exactly one worker" constraint (10).
+        """
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 2:
+            raise ValueError("assignment must be (layers, experts)")
+        if np.any(assignment < 0):
+            raise ValueError("assignment contains negative worker ids")
+        self.assignment = assignment
+        self.name = name
+        if capacities is not None:
+            loads = self.worker_loads(len(capacities))
+            for worker, (load, cap) in enumerate(zip(loads, capacities)):
+                if load > cap:
+                    raise ValueError(f"worker {worker} assigned {load} experts, "
+                                     f"capacity {cap}")
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        """Number of MoE blocks."""
+        return self.assignment.shape[0]
+
+    @property
+    def num_experts(self) -> int:
+        """Experts per block."""
+        return self.assignment.shape[1]
+
+    def worker_of(self, layer: int, expert: int) -> int:
+        """Worker hosting one expert."""
+        return int(self.assignment[layer, expert])
+
+    def experts_on_worker(self, worker: int) -> List[tuple]:
+        """``(layer, expert)`` pairs hosted by a worker."""
+        layers, experts = np.nonzero(self.assignment == worker)
+        return list(zip(layers.tolist(), experts.tolist()))
+
+    def worker_loads(self, num_workers: int) -> np.ndarray:
+        """Experts hosted per worker (constraint (11)'s left-hand side)."""
+        return np.bincount(self.assignment.reshape(-1), minlength=num_workers)
+
+    def to_binary_tensor(self, num_workers: int) -> np.ndarray:
+        """The paper's ``X[N, L, E]`` binary tensor."""
+        x = np.zeros((num_workers, self.num_layers, self.num_experts))
+        n_idx = self.assignment.reshape(-1)
+        l_idx = np.repeat(np.arange(self.num_layers), self.num_experts)
+        e_idx = np.tile(np.arange(self.num_experts), self.num_layers)
+        x[n_idx, l_idx, e_idx] = 1.0
+        return x
+
+    def tokens_per_worker(self, step_counts: np.ndarray,
+                          num_workers: int) -> np.ndarray:
+        """``K[n, l]``: token selections each worker receives per block.
+
+        ``step_counts`` is a ``(layers, experts)`` count matrix from a
+        routing trace step.
+        """
+        layers = self.num_layers
+        out = np.zeros((num_workers, layers), dtype=np.int64)
+        for layer in range(layers):
+            out[:, layer] = np.bincount(self.assignment[layer],
+                                        weights=step_counts[layer],
+                                        minlength=num_workers).astype(np.int64)
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Placement) and \
+            np.array_equal(self.assignment, other.assignment)
+
+    def __repr__(self) -> str:
+        return (f"Placement({self.name or 'unnamed'}, layers={self.num_layers}, "
+                f"experts={self.num_experts})")
+
+
+class PlacementStrategy:
+    """Interface: compute a :class:`Placement` for a problem instance."""
+
+    name: str = "base"
+
+    def place(self, problem: PlacementProblem) -> Placement:
+        """Compute a placement for ``problem``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

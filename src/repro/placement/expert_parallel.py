@@ -1,0 +1,30 @@
+"""Conventional expert parallelism's implicit placement.
+
+The paper's EP baseline (Fig. 2, Section V-A): "the experts of each MoE
+block were sequentially placed on GPUs, with the e-th expert of any MoE
+block assigned to the e%N-th GPU while the other layers were replicated
+among all devices."
+
+The expert-to-device map is therefore identical to
+:class:`~repro.placement.sequential.SequentialPlacement`; what differs is
+the *execution model* (all-to-all with synchronization and replicated
+backbone), which `repro.runtime.engine` applies when the placement's
+``execution_mode`` is ``"expert_parallel"``.
+"""
+
+from __future__ import annotations
+
+from .base import Placement, PlacementProblem, PlacementStrategy
+from .sequential import SequentialPlacement
+
+
+class ExpertParallelPlacement(PlacementStrategy):
+    """Sequential striping, tagged for all-to-all execution."""
+
+    name = "expert_parallel"
+
+    def place(self, problem: PlacementProblem) -> Placement:
+        """Compute a placement for ``problem``."""
+        placement = SequentialPlacement().place(problem)
+        placement.name = self.name
+        return placement

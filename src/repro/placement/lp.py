@@ -1,0 +1,176 @@
+"""The paper's LP transformation of the expert-placement problem.
+
+Section IV-B formulates placement as
+
+    min   sum_l  max_n ( (b*H / 4*B_n) * sum_e X[n,l,e] * P[l,e] * K )
+    s.t.  sum_n X[n,l,e] = 1            for every expert (l, e)
+          sum_{l,e} X[n,l,e] <= C_n     for every worker n
+          X[n,l,e] in {0, 1}
+
+and linearizes it by (1) replacing each layer's max with an auxiliary
+variable ``lambda_l`` bounded below by every worker's expected communication
+time, and (2) relaxing the binary constraint to ``0 <= X <= 1``.
+
+This module builds that LP in standard ``scipy.optimize.linprog`` form.  The
+variable vector is ``[X.flatten(order=(n,l,e)), lambda_0..lambda_{L-1}]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from .base import PlacementProblem
+
+
+@dataclass
+class PlacementLP:
+    """A built LP instance, ready for any solver.
+
+    ``A_ub x <= b_ub``, ``A_eq x = b_eq``, bounds ``lower <= x <= upper``,
+    objective ``min c @ x``.  The first ``N*L*E`` variables are the relaxed
+    assignment tensor (``order='C'`` over ``(n, l, e)``); the last ``L`` are
+    the per-layer auxiliary maxima.
+    """
+
+    c: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    num_workers: int
+    num_layers: int
+    num_experts: int
+    cost_scale: float = 1.0
+
+    @property
+    def num_assignment_vars(self) -> int:
+        """Count of relaxed assignment variables (N*L*E)."""
+        return self.num_workers * self.num_layers * self.num_experts
+
+    @property
+    def num_vars(self) -> int:
+        """Total LP variables (assignments + per-layer maxima)."""
+        return self.num_assignment_vars + self.num_layers
+
+    def var_index(self, worker: int, layer: int, expert: int) -> int:
+        """Flat index of ``X[worker, layer, expert]``."""
+        return (worker * self.num_layers + layer) * self.num_experts + expert
+
+    def lambda_index(self, layer: int) -> int:
+        """Flat index of a layer's auxiliary maximum variable."""
+        return self.num_assignment_vars + layer
+
+    def extract_assignment(self, solution: np.ndarray) -> np.ndarray:
+        """Reshape a solution vector into the relaxed ``X[n, l, e]`` tensor."""
+        x = solution[:self.num_assignment_vars]
+        return x.reshape(self.num_workers, self.num_layers, self.num_experts)
+
+    def objective_value(self, solution: np.ndarray) -> float:
+        """True objective in seconds (undoes the internal normalization)."""
+        return float(self.c @ solution) * self.cost_scale
+
+
+def comm_coefficients(problem: PlacementProblem) -> np.ndarray:
+    """Per-(worker, layer, expert) expected communication seconds.
+
+    ``coef[n, l, e] = (b*H / (4*B_n)) * P[l, e] * K`` — the contribution of
+    assigning expert ``(l, e)`` to worker ``n``, from Eq. (6).
+    """
+    if problem.probability_matrix is None:
+        raise ValueError("locality-aware placement needs a probability matrix")
+    config = problem.config
+    p = np.asarray(problem.probability_matrix, dtype=np.float64)
+    bandwidths = np.asarray(problem.effective_bandwidths())
+    per_token_time = (config.bits_per_feature * config.hidden_size
+                      / 4.0) / bandwidths  # (N,), seconds per token unit
+    return per_token_time[:, None, None] * p[None, :, :] * problem.tokens_per_step
+
+
+def build_placement_lp(problem: PlacementProblem) -> PlacementLP:
+    """Construct the relaxed LP for a placement problem."""
+    config = problem.config
+    n_workers = problem.num_workers
+    layers, experts = config.num_layers, config.num_experts
+    n_x = n_workers * layers * experts
+    n_vars = n_x + layers
+
+    coef = comm_coefficients(problem)
+    # Communication times are ~1e-8..1e-3 seconds; normalize so the solver
+    # works at O(1) magnitudes (its feasibility tolerances are absolute).
+    cost_scale = float(coef.max()) or 1.0
+    coef = coef / cost_scale
+
+    def xi(worker: int, layer: int, expert: int) -> int:
+        return (worker * layers + layer) * experts + expert
+
+    # Objective: minimize sum of lambdas.
+    c = np.zeros(n_vars)
+    c[n_x:] = 1.0
+
+    # Equality: each expert assigned exactly once -> L*E rows.
+    eq_rows, eq_cols, eq_vals = [], [], []
+    row = 0
+    for layer in range(layers):
+        for expert in range(experts):
+            for worker in range(n_workers):
+                eq_rows.append(row)
+                eq_cols.append(xi(worker, layer, expert))
+                eq_vals.append(1.0)
+            row += 1
+    a_eq = sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)),
+                             shape=(row, n_vars))
+    b_eq = np.ones(row)
+
+    # Inequalities: capacity rows (N) + lambda rows (N*L).
+    ub_rows, ub_cols, ub_vals = [], [], []
+    b_ub: List[float] = []
+    row = 0
+    capacities = problem.effective_capacities()
+    for worker in range(n_workers):
+        for layer in range(layers):
+            for expert in range(experts):
+                ub_rows.append(row)
+                ub_cols.append(xi(worker, layer, expert))
+                ub_vals.append(1.0)
+        b_ub.append(float(capacities[worker]))
+        row += 1
+    # (b*H / 4*B_n) * sum_e X[n,l,e] P[l,e] K - lambda_l <= 0
+    for worker in range(n_workers):
+        for layer in range(layers):
+            for expert in range(experts):
+                ub_rows.append(row)
+                ub_cols.append(xi(worker, layer, expert))
+                ub_vals.append(coef[worker, layer, expert])
+            ub_rows.append(row)
+            ub_cols.append(n_x + layer)
+            ub_vals.append(-1.0)
+            b_ub.append(0.0)
+            row += 1
+    a_ub = sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)),
+                             shape=(row, n_vars))
+
+    lower = np.zeros(n_vars)
+    upper = np.concatenate([np.ones(n_x), np.full(layers, np.inf)])
+
+    return PlacementLP(c=c, a_ub=a_ub, b_ub=np.array(b_ub), a_eq=a_eq,
+                       b_eq=b_eq, lower=lower, upper=upper,
+                       num_workers=n_workers, num_layers=layers,
+                       num_experts=experts, cost_scale=cost_scale)
+
+
+def solve_lp_scipy(lp: PlacementLP) -> np.ndarray:
+    """Solve with scipy's HiGHS backend; returns the full variable vector."""
+    from scipy.optimize import linprog
+
+    bounds = list(zip(lp.lower, [None if np.isinf(u) else u for u in lp.upper]))
+    result = linprog(lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, A_eq=lp.a_eq,
+                     b_eq=lp.b_eq, bounds=bounds, method="highs")
+    if not result.success:
+        raise RuntimeError(f"LP solve failed: {result.message}")
+    return result.x

@@ -1,0 +1,59 @@
+"""Evaluating the paper's optimization objective for concrete placements.
+
+Eq. (7): expected total communication time per step is the sum over MoE
+blocks of the slowest worker's expected transfer time.  These helpers score
+any placement against any locality profile — used by the strategies for
+internal decisions, by the exact-optimality checks, and by reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Placement, PlacementProblem
+from .lp import comm_coefficients
+
+
+def expected_worker_times(placement: Placement,
+                          problem: PlacementProblem) -> np.ndarray:
+    """``E(T_{n,l})`` matrix of shape ``(workers, layers)`` (Eq. (6))."""
+    coef = comm_coefficients(problem)  # (N, L, E)
+    num_workers = problem.num_workers
+    x = placement.to_binary_tensor(num_workers)
+    return (coef * x).sum(axis=2)
+
+
+def expected_step_comm_time(placement: Placement,
+                            problem: PlacementProblem) -> float:
+    """Eq. (7): ``sum_l max_n E(T_{n,l})`` in seconds."""
+    return float(expected_worker_times(placement, problem).max(axis=0).sum())
+
+
+def relaxed_objective(relaxed: np.ndarray, problem: PlacementProblem) -> float:
+    """Objective value of a (possibly fractional) assignment tensor."""
+    coef = comm_coefficients(problem)
+    times = (coef * relaxed).sum(axis=2)  # (N, L)
+    return float(times.max(axis=0).sum())
+
+
+def expected_cross_node_bytes(placement: Placement,
+                              problem: PlacementProblem) -> float:
+    """Expected bytes crossing node boundaries per step (master-worker flow).
+
+    Counts all four transfers (features and gradients, each dispatched and
+    gathered) for workers not on the master's node — the quantity behind the
+    paper's Fig. 5 "external traffic".
+    """
+    config = problem.config
+    if problem.probability_matrix is None:
+        raise ValueError("needs a probability matrix")
+    p = problem.probability_matrix
+    token_bytes = config.token_feature_nbytes()
+    total = 0.0
+    for worker in range(problem.num_workers):
+        if not problem.topology.is_cross_node_from_master(worker):
+            continue
+        mask = (placement.assignment == worker)
+        expected_tokens = float((p * mask).sum()) * problem.tokens_per_step
+        total += 4.0 * token_bytes * expected_tokens
+    return total

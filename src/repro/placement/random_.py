@@ -1,0 +1,49 @@
+"""Random placement baseline.
+
+"All experts from all MoE blocks are randomly shuffled and assigned to
+different worker processes" (Section V-A).  Capacity-aware: experts are
+dealt into workers round-robin over a shuffled slot list, so the result is
+feasible whenever total capacity suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Placement, PlacementProblem, PlacementStrategy
+
+
+class RandomPlacement(PlacementStrategy):
+    """Uniformly shuffle experts onto workers, respecting capacities."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def place(self, problem: PlacementProblem) -> Placement:
+        """Compute a placement for ``problem``."""
+        config = problem.config
+        caps = problem.effective_capacities()
+        total = config.total_experts
+        rng = np.random.default_rng(self.seed)
+
+        # Build a multiset of worker slots.  Workers with more capacity get
+        # proportionally more slots, truncated to exactly `total` slots in a
+        # balanced way: keep dealing one slot per worker (when capacity
+        # remains) until all experts have a seat.
+        slots = []
+        remaining = list(caps)
+        while len(slots) < total:
+            progressed = False
+            for worker in range(problem.num_workers):
+                if remaining[worker] > 0 and len(slots) < total:
+                    slots.append(worker)
+                    remaining[worker] -= 1
+                    progressed = True
+            if not progressed:
+                raise ValueError("total capacity insufficient for all experts")
+        slots = np.array(slots)
+        rng.shuffle(slots)
+        assignment = slots.reshape(config.num_layers, config.num_experts)
+        return Placement(assignment, capacities=caps, name=self.name)

@@ -1,0 +1,246 @@
+"""Expert replication: spending spare memory on extra copies of hot experts.
+
+The paper assigns each expert to exactly one worker (constraint (10)).  When
+worker capacities exceed the ``L*E`` total, the leftover memory can hold
+*replicas* of popular experts, splitting their token load across copies —
+the direction systems like Lina and SmartMoE explore for inference, adapted
+here to VELA's master-worker fine-tuning with a consistency caveat: during
+fine-tuning a replica must either stay frozen (valid for the frozen expert
+weights + per-replica LoRA averaging) or sync adapters each step; the model
+below charges an adapter all-reduce between replica holders per step.
+
+``ReplicationStrategy`` greedily replicates the experts that dominate the
+per-layer bottleneck (Eq. (7)) until capacity or improvement runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Placement, PlacementProblem, PlacementStrategy
+from .lp import comm_coefficients
+from .vela import LocalityAwarePlacement
+
+
+class ReplicatedPlacement:
+    """A placement where experts may live on several workers.
+
+    Token load of a replicated expert splits across its holders
+    proportionally to master-link bandwidth (the minimizer of the per-expert
+    contribution to every holder's transfer time under a linear cost).
+    """
+
+    def __init__(self, primary: Placement,
+                 replicas: Dict[Tuple[int, int], List[int]],
+                 bandwidths: Sequence[float], name: str = "vela+replication"):
+        self.primary = primary
+        self.bandwidths = np.asarray(list(bandwidths), dtype=np.float64)
+        self.name = name
+        self.replicas: Dict[Tuple[int, int], List[int]] = {}
+        for key, workers in replicas.items():
+            layer, expert = key
+            holders = set(workers)
+            primary_worker = primary.worker_of(layer, expert)
+            holders.discard(primary_worker)
+            if holders:
+                self.replicas[key] = sorted(holders)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of MoE blocks."""
+        return self.primary.num_layers
+
+    @property
+    def num_experts(self) -> int:
+        """Experts per block."""
+        return self.primary.num_experts
+
+    @property
+    def num_replicas(self) -> int:
+        """Extra expert copies beyond the primaries."""
+        return sum(len(v) for v in self.replicas.values())
+
+    def holders(self, layer: int, expert: int) -> List[int]:
+        """All workers holding a copy of expert ``(layer, expert)``."""
+        extra = self.replicas.get((layer, expert), [])
+        return [self.primary.worker_of(layer, expert)] + list(extra)
+
+    def fractions(self, layer: int, expert: int) -> np.ndarray:
+        """Load split across holders, proportional to their bandwidth."""
+        holders = self.holders(layer, expert)
+        weights = self.bandwidths[holders]
+        return weights / weights.sum()
+
+    def worker_loads(self, num_workers: int) -> np.ndarray:
+        """Hosted copies per worker (primaries + replicas)."""
+        loads = self.primary.worker_loads(num_workers).astype(np.int64)
+        for workers in self.replicas.values():
+            for worker in workers:
+                loads[worker] += 1
+        return loads
+
+    def tokens_per_worker(self, step_counts: np.ndarray,
+                          num_workers: int) -> np.ndarray:
+        """Expected ``K[n, l]`` with replicated experts' load split."""
+        step_counts = np.asarray(step_counts, dtype=np.float64)
+        out = np.zeros((num_workers, self.num_layers))
+        for layer in range(self.num_layers):
+            for expert in range(self.num_experts):
+                count = step_counts[layer, expert]
+                if count == 0:
+                    continue
+                holders = self.holders(layer, expert)
+                for worker, fraction in zip(holders,
+                                            self.fractions(layer, expert)):
+                    out[worker, layer] += count * fraction
+        return out
+
+    def replica_sync_bytes(self, config, lora_rank: int = 8) -> float:
+        """Per-step adapter bytes synchronized between replica holders.
+
+        Each replicated expert's LoRA matrices (fp32) are all-reduced across
+        its holders once per step.
+        """
+        per_expert = 3 * (config.hidden_size + config.ffn_hidden_size) * \
+            lora_rank * 4.0
+        return per_expert * self.num_replicas
+
+
+def expected_step_comm_time_replicated(placement: ReplicatedPlacement,
+                                       problem: PlacementProblem) -> float:
+    """Eq. (7) generalized to split expert loads."""
+    coef = comm_coefficients(problem)  # (N, L, E): time if fully assigned
+    num_workers = problem.num_workers
+    total = 0.0
+    for layer in range(placement.num_layers):
+        worker_time = np.zeros(num_workers)
+        for expert in range(placement.num_experts):
+            holders = placement.holders(layer, expert)
+            fractions = placement.fractions(layer, expert)
+            for worker, fraction in zip(holders, fractions):
+                worker_time[worker] += coef[worker, layer, expert] * fraction
+        total += worker_time.max()
+    return float(total)
+
+
+@dataclass
+class ReplicationReport:
+    """Summary of a replication pass: objective before/after."""
+    placement: ReplicatedPlacement
+    base_objective: float
+    replicated_objective: float
+    replicas_added: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional objective improvement (0 = none)."""
+        if self.base_objective <= 0:
+            return 0.0
+        return 1.0 - self.replicated_objective / self.base_objective
+
+
+class ReplicationStrategy(PlacementStrategy):
+    """Greedy bottleneck-driven replication on top of a base strategy.
+
+    Each round finds the layer with the largest bottleneck time, takes the
+    bottleneck worker's most expensive expert, and replicates it to the
+    worker with spare capacity that most reduces that layer's maximum.
+    Stops when capacity is exhausted or no move improves the objective.
+    """
+
+    name = "vela+replication"
+
+    def __init__(self, base: PlacementStrategy = None,
+                 max_replicas: int = 64):
+        if max_replicas < 0:
+            raise ValueError("max_replicas must be non-negative")
+        self.base = base or LocalityAwarePlacement()
+        self.max_replicas = max_replicas
+
+    def solve(self, problem: PlacementProblem) -> ReplicationReport:
+        """Solve and return the full diagnostic report."""
+        primary = self.base.place(problem)
+        bandwidths = problem.topology.master_bandwidths()
+        placement = ReplicatedPlacement(primary, {}, bandwidths,
+                                        name=self.name)
+        capacities = np.asarray(problem.effective_capacities())
+        base_objective = expected_step_comm_time_replicated(placement, problem)
+
+        current = base_objective
+        for _ in range(self.max_replicas):
+            move = self._best_move(placement, problem, capacities)
+            if move is None:
+                break
+            (layer, expert), worker, new_objective = move
+            if new_objective >= current - 1e-15:
+                break
+            key = (layer, expert)
+            placement.replicas.setdefault(key, []).append(worker)
+            placement.replicas[key] = sorted(set(placement.replicas[key]))
+            current = new_objective
+
+        return ReplicationReport(placement=placement,
+                                 base_objective=base_objective,
+                                 replicated_objective=current,
+                                 replicas_added=placement.num_replicas)
+
+    def place(self, problem: PlacementProblem) -> ReplicatedPlacement:
+        """Compute a placement for ``problem``."""
+        return self.solve(problem).placement
+
+    # ------------------------------------------------------------------ #
+    def _best_move(self, placement: ReplicatedPlacement,
+                   problem: PlacementProblem, capacities: np.ndarray):
+        coef = comm_coefficients(problem)
+        num_workers = problem.num_workers
+        loads = placement.worker_loads(num_workers)
+        spare = capacities - loads
+        if spare.max() <= 0:
+            return None
+
+        # Current per-layer worker times.
+        layer_times = np.zeros((placement.num_layers, num_workers))
+        for layer in range(placement.num_layers):
+            for expert in range(placement.num_experts):
+                for worker, fraction in zip(
+                        placement.holders(layer, expert),
+                        placement.fractions(layer, expert)):
+                    layer_times[layer, worker] += \
+                        coef[worker, layer, expert] * fraction
+
+        bottleneck_layer = int(layer_times.max(axis=1).argmax())
+        bottleneck_worker = int(layer_times[bottleneck_layer].argmax())
+
+        # The bottleneck worker's most expensive expert in that layer.
+        best_expert, best_cost = None, 0.0
+        for expert in range(placement.num_experts):
+            holders = placement.holders(bottleneck_layer, expert)
+            if bottleneck_worker not in holders:
+                continue
+            idx = holders.index(bottleneck_worker)
+            cost = coef[bottleneck_worker, bottleneck_layer, expert] * \
+                placement.fractions(bottleneck_layer, expert)[idx]
+            if cost > best_cost:
+                best_cost, best_expert = cost, expert
+        if best_expert is None:
+            return None
+
+        # Try replicating it onto each spare-capacity worker; keep the best.
+        key = (bottleneck_layer, best_expert)
+        current_holders = set(placement.holders(*key))
+        best = None
+        for worker in range(num_workers):
+            if spare[worker] <= 0 or worker in current_holders:
+                continue
+            trial = ReplicatedPlacement(
+                placement.primary,
+                {**placement.replicas,
+                 key: placement.replicas.get(key, []) + [worker]},
+                placement.bandwidths, name=placement.name)
+            objective = expected_step_comm_time_replicated(trial, problem)
+            if best is None or objective < best[2]:
+                best = (key, worker, objective)
+        return best

@@ -1,0 +1,53 @@
+"""Sequential placement baseline.
+
+Assigns the ``e``-th expert of every MoE block to worker ``e % N`` — the
+paper's "sequential placement" baseline, which mirrors how conventional
+expert parallelism stripes experts across devices but runs inside VELA's
+master-worker framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Placement, PlacementProblem, PlacementStrategy
+
+
+class SequentialPlacement(PlacementStrategy):
+    """Stripe experts across workers by expert index (``e % N``)."""
+
+    name = "sequential"
+
+    def place(self, problem: PlacementProblem) -> Placement:
+        """Compute a placement for ``problem``."""
+        config = problem.config
+        num_workers = problem.num_workers
+        experts = np.arange(config.num_experts)
+        row = experts % num_workers
+        assignment = np.tile(row, (config.num_layers, 1))
+        assignment = _respect_capacities(assignment, problem)
+        return Placement(assignment, capacities=problem.effective_capacities(),
+                         name=self.name)
+
+
+def _respect_capacities(assignment: np.ndarray,
+                        problem: PlacementProblem) -> np.ndarray:
+    """Shift overflow assignments to the least-loaded workers.
+
+    Sequential striping is already balanced when ``N`` divides ``E``; with
+    tight capacities the tail experts spill to whichever workers have room.
+    """
+    caps = np.array(problem.effective_capacities())
+    loads = np.zeros(len(caps), dtype=np.int64)
+    flat = assignment.reshape(-1).copy()
+    for i, worker in enumerate(flat):
+        if loads[worker] < caps[worker]:
+            loads[worker] += 1
+            continue
+        candidates = np.nonzero(loads < caps)[0]
+        if len(candidates) == 0:
+            raise ValueError("total capacity insufficient for all experts")
+        replacement = candidates[np.argmin(loads[candidates])]
+        flat[i] = replacement
+        loads[replacement] += 1
+    return flat.reshape(assignment.shape)

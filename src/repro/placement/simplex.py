@@ -1,0 +1,162 @@
+"""A from-scratch two-phase dense simplex solver.
+
+The paper relies on "off-the-shelf LP solvers"; this repository uses scipy's
+HiGHS by default but ships its own solver so the core contribution has no
+hard dependency on an external optimizer.  The implementation is a textbook
+two-phase primal simplex with Bland's anti-cycling rule, for problems of the
+form
+
+    min c @ x   s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  x >= 0.
+
+Upper bounds must be encoded as rows by the caller.  For the placement LP
+this is free: the relaxed assignment variables satisfy ``x <= 1`` implicitly
+through the per-expert equality ``sum_n X[n,l,e] = 1`` with non-negative
+variables, so no explicit bound rows are needed (see
+:func:`repro.placement.vela.solve_lp_simplex`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class SimplexError(RuntimeError):
+    """LP is infeasible, unbounded, or exceeded the iteration budget."""
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the tableau on (row, col)."""
+    tableau[row] /= tableau[row, col]
+    pivot_row = tableau[row]
+    column = tableau[:, col].copy()
+    column[row] = 0.0
+    tableau -= np.outer(column, pivot_row)
+    tableau[row] = pivot_row
+    basis[row] = col
+
+
+def _simplex_iterate(tableau: np.ndarray, basis: np.ndarray, num_structural: int,
+                     max_iters: int, tol: float) -> None:
+    """Run primal simplex to optimality on a feasible tableau in place.
+
+    The last row is the (negated-cost) objective; the last column is the RHS.
+    """
+    num_rows = tableau.shape[0] - 1
+    for _ in range(max_iters):
+        costs = tableau[-1, :-1]
+        # Bland's rule: smallest-index entering variable with negative
+        # reduced cost (objective row holds -reduced costs here: we keep the
+        # convention that an improving column has cost row entry < -tol).
+        entering_candidates = np.nonzero(costs < -tol)[0]
+        if len(entering_candidates) == 0:
+            return  # optimal
+        col = int(entering_candidates[0])
+        column = tableau[:num_rows, col]
+        positive = column > tol
+        if not np.any(positive):
+            raise SimplexError("LP is unbounded")
+        ratios = np.full(num_rows, np.inf)
+        ratios[positive] = tableau[:num_rows, -1][positive] / column[positive]
+        best = ratios.min()
+        # Bland tie-break: among minimal ratios, pick the row whose basic
+        # variable has the smallest index.
+        rows = np.nonzero(ratios <= best + tol)[0]
+        row = int(rows[np.argmin(basis[rows])])
+        _pivot(tableau, basis, row, col)
+    raise SimplexError(f"simplex exceeded {max_iters} iterations")
+
+
+def simplex_solve(c: np.ndarray,
+                  a_ub: Optional[np.ndarray] = None,
+                  b_ub: Optional[np.ndarray] = None,
+                  a_eq: Optional[np.ndarray] = None,
+                  b_eq: Optional[np.ndarray] = None,
+                  max_iters: int = 20000,
+                  tol: float = 1e-9) -> Tuple[np.ndarray, float]:
+    """Solve the LP; returns ``(x, objective)``.
+
+    Raises :class:`SimplexError` on infeasible/unbounded problems.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    n = c.shape[0]
+    if a_ub is None:
+        a_ub = np.zeros((0, n))
+        b_ub = np.zeros(0)
+    if a_eq is None:
+        a_eq = np.zeros((0, n))
+        b_eq = np.zeros(0)
+    a_ub = np.asarray(a_ub, dtype=np.float64).reshape(-1, n)
+    a_eq = np.asarray(a_eq, dtype=np.float64).reshape(-1, n)
+    b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
+    b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+
+    # Assemble [A_ub | I_slack ; A_eq | 0] and normalize RHS to >= 0.
+    a = np.zeros((m, n + m_ub))
+    a[:m_ub, :n] = a_ub
+    a[:m_ub, n:n + m_ub] = np.eye(m_ub)
+    a[m_ub:, :n] = a_eq
+    b = np.concatenate([b_ub, b_eq])
+    negative = b < 0
+    a[negative] *= -1.0
+    b[negative] *= -1.0
+
+    num_structural = n + m_ub
+
+    # Choose initial basis: slack columns where possible (slack rows whose
+    # slack kept +1 sign), artificials elsewhere.
+    needs_artificial = np.ones(m, dtype=bool)
+    basis = np.full(m, -1, dtype=np.int64)
+    for i in range(m_ub):
+        if not negative[i]:
+            basis[i] = n + i
+            needs_artificial[i] = False
+    num_artificial = int(needs_artificial.sum())
+
+    total_cols = num_structural + num_artificial
+    tableau = np.zeros((m + 1, total_cols + 1))
+    tableau[:m, :num_structural] = a
+    tableau[:m, -1] = b
+    art_col = num_structural
+    for i in range(m):
+        if needs_artificial[i]:
+            tableau[i, art_col] = 1.0
+            basis[i] = art_col
+            art_col += 1
+
+    if num_artificial > 0:
+        # Phase 1: minimize the sum of artificials.
+        tableau[-1, num_structural:total_cols] = 1.0
+        for i in range(m):
+            if basis[i] >= num_structural:
+                tableau[-1] -= tableau[i]
+        _simplex_iterate(tableau, basis, num_structural, max_iters, tol)
+        if tableau[-1, -1] < -tol * max(1.0, np.abs(b).max()) - 1e-7:
+            raise SimplexError("LP is infeasible")
+        # Drive any lingering artificial basics out of the basis.
+        for i in range(m):
+            if basis[i] >= num_structural:
+                pivots = np.nonzero(np.abs(tableau[i, :num_structural]) > tol)[0]
+                if len(pivots) > 0:
+                    _pivot(tableau, basis, i, int(pivots[0]))
+        # Drop artificial columns.
+        keep = list(range(num_structural)) + [total_cols]
+        tableau = tableau[:, keep]
+
+    # Phase 2: install the true objective.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c
+    for i in range(m):
+        coeff = tableau[-1, basis[i]]
+        if abs(coeff) > tol:
+            tableau[-1] -= coeff * tableau[i]
+    _simplex_iterate(tableau, basis, num_structural, max_iters, tol)
+
+    x = np.zeros(tableau.shape[1] - 1)
+    for i in range(m):
+        x[basis[i]] = tableau[i, -1]
+    solution = x[:n]
+    return solution, float(c @ solution)

@@ -1,0 +1,115 @@
+"""Locality profiling: measure expert access probabilities before fine-tuning.
+
+The paper (Section IV-B, "Note that prior to fine-tuning, we pass the dataset
+through the model to generate a probability matrix P") profiles the frozen
+model on the fine-tuning dataset in inference mode.  :class:`LocalityProfiler`
+does exactly that for live models; synthetic routers expose the same
+``probability_matrix`` interface directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..models.moe_block import BlockRoutingRecord
+from ..models.transformer import MoETransformer
+from ..nn.tensor import no_grad
+
+
+@dataclass
+class LocalityProfile:
+    """Result of a profiling pass.
+
+    Attributes
+    ----------
+    probability_matrix:
+        ``P[l, e]`` — fraction of tokens selecting expert ``e`` in block
+        ``l`` (rows sum to ``top_k``).
+    selected_scores:
+        Flat array of per-token summed softmax scores of the selected experts
+        for the monitored block (the paper's Fig. 3(b) statistic).
+    tokens_profiled:
+        Total tokens passed through the model.
+    """
+
+    probability_matrix: np.ndarray
+    selected_scores: np.ndarray
+    tokens_profiled: int
+
+    @property
+    def num_layers(self) -> int:
+        """Number of MoE blocks."""
+        return self.probability_matrix.shape[0]
+
+    @property
+    def num_experts(self) -> int:
+        """Experts per block."""
+        return self.probability_matrix.shape[1]
+
+    def access_frequency(self, layer: int) -> np.ndarray:
+        """Per-expert access frequency of one block (Fig. 3(a) bars)."""
+        return self.probability_matrix[layer]
+
+    def score_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted scores, cumulative fraction) — Fig. 3(b) curve."""
+        scores = np.sort(self.selected_scores)
+        cdf = np.arange(1, len(scores) + 1) / len(scores)
+        return scores, cdf
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of selected-score sums above ``threshold``."""
+        return float((self.selected_scores > threshold).mean())
+
+    def imbalance_ratio(self, layer: int) -> float:
+        """Max/min access frequency within a block (locality magnitude)."""
+        freq = self.probability_matrix[layer]
+        low = freq.min()
+        return float(freq.max() / low) if low > 0 else float("inf")
+
+
+class LocalityProfiler:
+    """Run a frozen model over a dataset and collect routing statistics."""
+
+    def __init__(self, model: MoETransformer, monitored_layer: int = 0):
+        if not 0 <= monitored_layer < model.config.num_layers:
+            raise ValueError(f"monitored_layer {monitored_layer} out of range")
+        self.model = model
+        self.monitored_layer = monitored_layer
+
+    def profile(self, batches, max_batches: Optional[int] = None) -> LocalityProfile:
+        """Pass ``batches`` of ``(inputs, targets)`` through the model.
+
+        The model runs in eval mode with gradients disabled — this is the
+        paper's "inference mode" measurement pass.
+        """
+        config = self.model.config
+        counts = np.zeros((config.num_layers, config.num_experts), dtype=np.int64)
+        scores: List[np.ndarray] = []
+        tokens_total = 0
+
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                for batch_index, (inputs, _) in enumerate(batches):
+                    if max_batches is not None and batch_index >= max_batches:
+                        break
+                    self.model.forward(np.asarray(inputs))
+                    records = self.model.routing_records()
+                    for record in records:
+                        counts[record.layer] += record.access_counts(config.num_experts)
+                    monitored: BlockRoutingRecord = records[self.monitored_layer]
+                    scores.append(monitored.selected_scores.sum(axis=1))
+                    tokens_total += records[0].num_tokens
+        finally:
+            self.model.train(was_training)
+
+        if tokens_total == 0:
+            raise ValueError("profiler received no batches")
+        probability = counts / tokens_total
+        return LocalityProfile(probability_matrix=probability,
+                               selected_scores=np.concatenate(scores),
+                               tokens_profiled=tokens_total)

@@ -1,0 +1,30 @@
+"""Simulated distributed runtime: broker, master/worker processes, engines."""
+
+from .broker import DispatchPlan, ExpertBroker
+from .des_engine import (DESStepResult, EventDrivenMasterWorker,
+                         contention_penalty)
+from .engine import (ExpertParallelEngine, MasterWorkerEngine,
+                     lora_backbone_param_count, lora_expert_param_count)
+from .events import LinkResource, Simulator
+from .flops import BACKWARD_MULTIPLIER, FlopModel
+from .functional_exec import (BrokeredMoEBlock, detach_experts,
+                              reattach_experts)
+from .master import MasterProcess, MasterStats
+from .multimaster import (MultiMasterEngine, effective_bandwidths,
+                          master_worker_link)
+from .overlap import OverlappedMasterWorkerEngine, overlap_speedup
+from .metrics import RunMetrics, StepMetrics
+from .worker import WorkerProcess, WorkerStats
+
+__all__ = [
+    "Simulator", "LinkResource", "FlopModel", "BACKWARD_MULTIPLIER",
+    "ExpertBroker", "DispatchPlan",
+    "MasterProcess", "MasterStats", "WorkerProcess", "WorkerStats",
+    "MasterWorkerEngine", "ExpertParallelEngine",
+    "EventDrivenMasterWorker", "DESStepResult", "contention_penalty",
+    "OverlappedMasterWorkerEngine", "overlap_speedup",
+    "MultiMasterEngine", "effective_bandwidths", "master_worker_link",
+    "BrokeredMoEBlock", "detach_experts", "reattach_experts",
+    "lora_backbone_param_count", "lora_expert_param_count",
+    "StepMetrics", "RunMetrics",
+]

@@ -1,0 +1,91 @@
+"""The Expert Broker (paper Section IV-A).
+
+The broker replaces each MoE block in the model backbone.  It performs no
+computation itself: given the gate's routing decisions for a step, it plans
+which tokens (and later, gradients) flow to which worker.  In this simulated
+runtime its product is the dispatch plan — per-(worker, layer) token counts
+and the corresponding :class:`~repro.comm.message.Message` lists — which the
+engines turn into transfer timings and traffic totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..comm.message import MASTER, Message, MessageKind
+from ..models.config import MoEModelConfig
+from ..placement.base import Placement
+
+
+@dataclass
+class DispatchPlan:
+    """Planned data movement for one fine-tuning step.
+
+    ``tokens`` has shape ``(workers, layers)``: token selections each worker
+    receives per block (the ``K[n, l]`` of the paper's Eq. (6)).
+    """
+
+    tokens: np.ndarray
+    token_bytes: float
+
+    @property
+    def num_workers(self) -> int:
+        """Worker process count."""
+        return self.tokens.shape[0]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of MoE blocks."""
+        return self.tokens.shape[1]
+
+    def bytes_to_worker(self, worker: int, layer: int) -> float:
+        """One-direction payload for one block."""
+        return float(self.tokens[worker, layer]) * self.token_bytes
+
+    def layer_bytes(self, layer: int) -> np.ndarray:
+        """One-direction payloads of all workers for one block."""
+        return self.tokens[:, layer] * self.token_bytes
+
+
+class ExpertBroker:
+    """Plans master<->worker data movement for a placement."""
+
+    def __init__(self, config: MoEModelConfig, placement: Placement,
+                 num_workers: int):
+        if placement.num_layers != config.num_layers or \
+                placement.num_experts != config.num_experts:
+            raise ValueError("placement shape does not match model config")
+        self.config = config
+        self.placement = placement
+        self.num_workers = num_workers
+
+    def plan_step(self, step_counts: np.ndarray) -> DispatchPlan:
+        """Build the dispatch plan from one step's routing counts.
+
+        ``step_counts`` is the ``(layers, experts)`` matrix of token
+        selections from a routing trace.
+        """
+        step_counts = np.asarray(step_counts)
+        expected = (self.config.num_layers, self.config.num_experts)
+        if step_counts.shape != expected:
+            raise ValueError(f"step_counts shape {step_counts.shape} != {expected}")
+        tokens = self.placement.tokens_per_worker(step_counts, self.num_workers)
+        return DispatchPlan(tokens=tokens,
+                            token_bytes=self.config.token_feature_nbytes())
+
+    def messages_for_layer(self, plan: DispatchPlan, layer: int,
+                           kind: MessageKind, step: int = -1) -> List[Message]:
+        """Materialize the point-to-point messages of one block, one phase."""
+        to_workers = kind in (MessageKind.TOKEN_DISPATCH, MessageKind.GRAD_DISPATCH)
+        messages = []
+        for worker in range(plan.num_workers):
+            nbytes = plan.bytes_to_worker(worker, layer)
+            if nbytes <= 0:
+                continue
+            src, dst = (MASTER, worker) if to_workers else (worker, MASTER)
+            messages.append(Message(src=src, dst=dst, nbytes=nbytes,
+                                    kind=kind, layer=layer, step=step))
+        return messages

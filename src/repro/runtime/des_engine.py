@@ -1,0 +1,172 @@
+"""Event-driven execution of a master-worker fine-tuning step.
+
+The closed-form :class:`~repro.runtime.engine.MasterWorkerEngine` computes
+each block's span as ``max_n(dispatch + compute + gather)`` — the paper's
+fork-join model, which assumes the master can transmit to every worker
+concurrently.  This module *executes* the same step as discrete events on
+:class:`~repro.runtime.events.Simulator`, which buys two things:
+
+1. **Validation** — with unlimited master egress, the event-driven step time
+   must equal the closed form exactly (asserted in tests).
+2. **Contention studies** — real masters push all cross-node traffic through
+   one NIC and all intra-node traffic through one PCIe root; enabling
+   ``nic_contention`` serializes transfers through per-resource FIFOs,
+   quantifying how optimistic the paper's independent-links assumption is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..models.config import MoEModelConfig
+from ..placement.base import Placement
+from .broker import ExpertBroker
+from .engine import lora_backbone_param_count, lora_expert_param_count
+from .events import LinkResource, Simulator
+from .flops import FlopModel
+
+
+@dataclass
+class DESStepResult:
+    """Timing of one event-driven step."""
+
+    total_time: float
+    layer_finish_times: List[float]
+    events_processed: int
+    master_egress_busy: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_layer_passes(self) -> int:
+        """Layer passes executed (forward + backward)."""
+        return len(self.layer_finish_times)
+
+
+class EventDrivenMasterWorker:
+    """Executes master-worker steps on the discrete-event simulator.
+
+    Parameters mirror :class:`MasterWorkerEngine`; ``nic_contention``
+    serializes the master's transfers per link class (one cross-node NIC,
+    one intra-node PCIe root, each full-duplex: independent egress/ingress).
+    """
+
+    def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
+                 placement: Placement, tokens_per_step: int, seq_len: int,
+                 lora_rank: int = 8, nic_contention: bool = False):
+        if tokens_per_step < 1:
+            raise ValueError("tokens_per_step must be positive")
+        self.config = config
+        self.topology = topology
+        self.placement = placement
+        self.tokens_per_step = tokens_per_step
+        self.seq_len = seq_len
+        self.lora_rank = lora_rank
+        self.nic_contention = nic_contention
+        self.flops = FlopModel(config)
+        self.broker = ExpertBroker(config, placement, topology.num_workers)
+        self.master_device = topology.workers[topology.master_worker_id].device
+
+    # ------------------------------------------------------------------ #
+    def _transfer_duration(self, worker: int, nbytes: float) -> float:
+        return self.topology.master_link(worker).transfer_time(nbytes)
+
+    def _egress_key(self, worker: int) -> Optional[str]:
+        """Which shared master resource a transfer to ``worker`` uses."""
+        if not self.nic_contention:
+            return None
+        if self.topology.master_link(worker).name == "loopback":
+            return None  # on-device copy, no shared fabric
+        if self.topology.is_cross_node_from_master(worker):
+            return "nic"
+        return "pcie"
+
+    def run_step(self, step_counts: np.ndarray) -> DESStepResult:
+        """Execute one full step (forward + backward + heads + optimizers)."""
+        plan = self.broker.plan_step(np.asarray(step_counts))
+        sim = Simulator()
+        egress = {"nic": LinkResource(), "pcie": LinkResource()}
+        ingress = {"nic": LinkResource(), "pcie": LinkResource()}
+
+        tokens = float(self.tokens_per_step)
+        layers = self.config.num_layers
+        layer_finish: List[float] = []
+
+        state = {"t": 0.0}
+
+        def run_pass(backward: bool) -> None:
+            for layer in range(layers):
+                backbone = self.flops.backbone_layer_time(
+                    self.master_device, tokens, self.seq_len,
+                    backward=backward)
+                dispatch_start = state["t"] + backbone
+                layer_end = dispatch_start  # at least the backbone
+                for worker in range(self.topology.num_workers):
+                    layer_tokens = float(plan.tokens[worker, layer])
+                    if layer_tokens <= 0:
+                        continue
+                    nbytes = plan.bytes_to_worker(worker, layer)
+                    duration = self._transfer_duration(worker, nbytes)
+                    key = self._egress_key(worker)
+                    if key is None:
+                        arrive = dispatch_start + duration
+                    else:
+                        arrive = egress[key].occupy(dispatch_start, duration)
+                    compute = self.flops.expert_time(
+                        self.topology.workers[worker].device, layer_tokens,
+                        backward=backward)
+                    send_back = arrive + compute
+                    if key is None:
+                        done = send_back + duration
+                    else:
+                        done = ingress[key].occupy(send_back, duration)
+                    layer_end = max(layer_end, done)
+                state["t"] = layer_end
+                layer_finish.append(layer_end)
+                sim.at(layer_end, lambda: None)
+
+        run_pass(backward=False)
+        state["t"] += self.flops.head_time(self.master_device, tokens)
+        state["t"] += self.flops.head_time(self.master_device, tokens,
+                                           backward=True)
+        run_pass(backward=True)
+
+        state["t"] += self.flops.optimizer_time(
+            self.master_device, lora_backbone_param_count(self.config,
+                                                          self.lora_rank))
+        worker_opt = max(
+            self.flops.optimizer_time(
+                w.device, lora_expert_param_count(self.config, self.lora_rank)
+                * int(load))
+            for w, load in zip(self.topology.workers,
+                               self.placement.worker_loads(
+                                   self.topology.num_workers)))
+        state["t"] += worker_opt
+
+        sim.run()
+        return DESStepResult(
+            total_time=state["t"],
+            layer_finish_times=layer_finish,
+            events_processed=sim.events_processed,
+            master_egress_busy={k: r.busy_time for k, r in egress.items()})
+
+
+def contention_penalty(config: MoEModelConfig, topology: ClusterTopology,
+                       placement: Placement, step_counts: np.ndarray,
+                       tokens_per_step: int, seq_len: int) -> float:
+    """Relative step-time increase when the master's fabric is serialized.
+
+    Returns ``t_contended / t_ideal - 1`` for one step — the error the
+    paper's independent-links assumption (Eq. (7)) makes on this placement.
+    """
+    ideal = EventDrivenMasterWorker(config, topology, placement,
+                                    tokens_per_step, seq_len,
+                                    nic_contention=False)
+    contended = EventDrivenMasterWorker(config, topology, placement,
+                                        tokens_per_step, seq_len,
+                                        nic_contention=True)
+    t_ideal = ideal.run_step(step_counts).total_time
+    t_contended = contended.run_step(step_counts).total_time
+    return t_contended / t_ideal - 1.0

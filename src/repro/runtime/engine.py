@@ -1,0 +1,277 @@
+"""Fine-tuning step engines: VELA's master-worker runtime and the
+conventional expert-parallelism runtime.
+
+Both engines replay a routing trace (the placement-independent record of
+which experts each step's tokens selected) and produce per-step
+:class:`~repro.runtime.metrics.StepMetrics`.  The two differ exactly where
+the paper says they differ (Section V-B):
+
+* **Master-worker** (VELA framework): per block, the master computes the
+  backbone, then exchanges tokens with each worker over independent links —
+  a fork-join whose span is the slowest worker chain.  No status
+  synchronization is needed because the master knows every transfer size.
+* **Expert parallelism**: the backbone is replicated and inputs are sharded;
+  each block requires a status synchronization followed by a synchronized
+  all-to-all in each direction, and the step ends with an all-reduce over
+  the replicated trainable parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..comm.collective import (all_to_all_time, cross_node_bytes_all_to_all,
+                               ring_all_reduce_time, status_sync_time)
+from ..comm.cost import CommCostModel
+from ..models.config import MoEModelConfig
+from ..placement.base import Placement
+from ..routing.trace import RoutingTrace
+from .broker import ExpertBroker
+from .flops import FlopModel
+from .master import MasterProcess
+from .metrics import RunMetrics, StepMetrics
+from .worker import WorkerProcess
+
+
+def lora_backbone_param_count(config: MoEModelConfig, rank: int = 8) -> int:
+    """Trainable LoRA parameters on the replicated (non-expert) layers.
+
+    Four attention projections per layer plus the LM head; the gate is
+    excluded (frozen, per the paper's fine-tuning setup).
+    """
+    per_layer = 4 * (config.hidden_size + config.hidden_size) * rank
+    head = (config.vocab_size + config.hidden_size) * rank
+    return config.num_layers * per_layer + head
+
+
+def lora_expert_param_count(config: MoEModelConfig, rank: int = 8) -> int:
+    """Trainable LoRA parameters of a single expert (three projections)."""
+    return 3 * (config.hidden_size + config.ffn_hidden_size) * rank
+
+
+class MasterWorkerEngine:
+    """VELA's runtime: backbone on the master, experts sharded on workers."""
+
+    def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
+                 placement: Placement, tokens_per_step: int, seq_len: int,
+                 lora_rank: int = 8, strategy_name: Optional[str] = None):
+        if tokens_per_step < 1:
+            raise ValueError("tokens_per_step must be positive")
+        self.config = config
+        self.topology = topology
+        self.placement = placement
+        self.tokens_per_step = tokens_per_step
+        self.seq_len = seq_len
+        self.lora_rank = lora_rank
+        self.strategy_name = strategy_name or placement.name
+
+        self.flops = FlopModel(config)
+        self.cost = CommCostModel(config, topology)
+        self.broker = ExpertBroker(config, placement, topology.num_workers)
+        master_device = topology.workers[topology.master_worker_id].device
+        self.master = MasterProcess(config, master_device, self.flops, seq_len)
+        self.workers = [WorkerProcess(w.worker_id, w.device, self.flops)
+                        for w in topology.workers]
+        loads = placement.worker_loads(topology.num_workers)
+        for worker, load in zip(self.workers, loads):
+            worker.host_experts(int(load))
+
+    # ------------------------------------------------------------------ #
+    def _layer_span(self, layer_bytes: np.ndarray, layer_tokens: np.ndarray,
+                    backward: bool) -> tuple[float, float, float]:
+        """Fork-join span of one block's exchange+compute.
+
+        Returns ``(span, comm_part, compute_part)`` where the span is the
+        slowest worker chain (dispatch -> expert compute -> gather).
+        """
+        span = 0.0
+        comm_part = 0.0
+        compute_part = 0.0
+        for worker_id, nbytes in enumerate(layer_bytes):
+            if layer_tokens[worker_id] <= 0:
+                continue
+            link = self.topology.master_link(worker_id)
+            dispatch = link.transfer_time(float(nbytes))
+            gather = link.transfer_time(float(nbytes))
+            worker = self.workers[worker_id]
+            if backward:
+                compute = worker.backward_time(float(layer_tokens[worker_id]))
+            else:
+                compute = worker.forward_time(float(layer_tokens[worker_id]))
+            chain = dispatch + compute + gather
+            if chain > span:
+                span = chain
+                comm_part = dispatch + gather
+                compute_part = compute
+        return span, comm_part, compute_part
+
+    def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
+        """Simulate one fine-tuning step and return its metrics."""
+        plan = self.broker.plan_step(step_counts)
+        tokens = float(self.tokens_per_step)
+
+        total = comm = compute = 0.0
+        for backward in (False, True):
+            for layer in range(self.config.num_layers):
+                backbone = self.master.backbone_layer_time(tokens, backward=backward)
+                span, comm_part, compute_part = self._layer_span(
+                    plan.layer_bytes(layer), plan.tokens[:, layer], backward)
+                total += backbone + span
+                comm += comm_part
+                compute += backbone + compute_part
+
+        head = self.master.head_time(tokens) + self.master.head_time(tokens, backward=True)
+        optimizer = self.master.optimizer_time(
+            lora_backbone_param_count(self.config, self.lora_rank))
+        worker_opt = max(w.optimizer_time(
+            lora_expert_param_count(self.config, self.lora_rank))
+            for w in self.workers)
+        total += head + optimizer + worker_opt
+        compute += head + optimizer + worker_opt
+
+        for worker in self.workers:
+            worker.end_step()
+        self.master.end_step()
+
+        total_bytes = float(self.cost.step_bytes_per_worker(plan.tokens).sum())
+        cross = self.cost.cross_node_bytes(plan.tokens)
+        return StepMetrics(step=step, total_time=total, comm_time=comm,
+                           compute_time=compute, sync_time=0.0,
+                           allreduce_time=0.0, total_bytes=total_bytes,
+                           cross_node_bytes=cross,
+                           num_nodes=self.topology.num_nodes)
+
+    def run_trace(self, trace: RoutingTrace,
+                  max_steps: Optional[int] = None) -> RunMetrics:
+        """Replay every step of a routing trace."""
+        run = RunMetrics(strategy=self.strategy_name)
+        limit = trace.num_steps if max_steps is None else min(max_steps,
+                                                              trace.num_steps)
+        for step in range(limit):
+            run.append(self.run_step(trace.step_counts(step), step=step))
+        return run
+
+
+class ExpertParallelEngine:
+    """Conventional expert parallelism: replicated backbone, all-to-all."""
+
+    def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
+                 placement: Placement, tokens_per_step: int, seq_len: int,
+                 lora_rank: int = 8, strategy_name: str = "expert_parallel",
+                 sync_software_overhead_s: float = 0.008):
+        """``sync_software_overhead_s`` is the per-block status-sync cost.
+
+        Beyond wire latency, a blocking size-exchange in a real framework
+        pays kernel-launch, host-synchronization and straggler costs; ~8 ms
+        per collective is typical of PyTorch-distributed over Ethernet and
+        matches the EP slowdown the paper measures (Fig. 6 discussion).  Set
+        to 0 to model an idealized zero-overhead runtime (see the ablation
+        bench).
+        """
+        if tokens_per_step < 1:
+            raise ValueError("tokens_per_step must be positive")
+        if sync_software_overhead_s < 0:
+            raise ValueError("sync overhead must be non-negative")
+        self.config = config
+        self.topology = topology
+        self.placement = placement
+        self.tokens_per_step = tokens_per_step
+        self.seq_len = seq_len
+        self.lora_rank = lora_rank
+        self.strategy_name = strategy_name
+        self.sync_software_overhead_s = sync_software_overhead_s
+        self.flops = FlopModel(config)
+        self.token_bytes = config.token_feature_nbytes()
+        # Replicated phases end at a barrier, so the slowest device gates
+        # every data-parallel compute step; expert compute is per-owner.
+        self.device = topology.device
+        self.worker_devices = [w.device for w in topology.workers]
+        self.slowest_device = min(self.worker_devices,
+                                  key=lambda d: d.effective_flops)
+
+    def _byte_matrix(self, layer: int, layer_counts: np.ndarray) -> np.ndarray:
+        """Expected all-to-all payloads for one block's dispatch.
+
+        Inputs are sharded uniformly, so each device originates ``1/N`` of
+        every expert's token selections.
+        """
+        n = self.topology.num_workers
+        dest_tokens = np.bincount(self.placement.assignment[layer],
+                                  weights=layer_counts, minlength=n)
+        # Every source shard contributes equally to every destination.
+        matrix = np.tile(dest_tokens / n, (n, 1)) * self.token_bytes
+        return matrix
+
+    def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
+        """Simulate one fine-tuning step; returns its metrics."""
+        config = self.config
+        n = self.topology.num_workers
+        shard_tokens = self.tokens_per_step / n
+        sync_unit = status_sync_time(self.topology) + self.sync_software_overhead_s
+
+        total = comm = compute = sync = 0.0
+        cross_bytes = 0.0
+        total_bytes = 0.0
+        for backward in (False, True):
+            mult = 2.0 if backward else 1.0
+            for layer in range(config.num_layers):
+                backbone = mult * self.flops.backbone_layer_time(
+                    self.slowest_device, shard_tokens, self.seq_len)
+                matrix = self._byte_matrix(layer, step_counts[layer])
+                dispatch = all_to_all_time(matrix, self.topology)
+                gather = all_to_all_time(matrix.T, self.topology)
+                dest_tokens = matrix.sum(axis=0) / self.token_bytes
+                expert = mult * max(
+                    self.flops.expert_time(device, float(t))
+                    for device, t in zip(self.worker_devices, dest_tokens))
+                total += backbone + sync_unit + dispatch + expert + gather
+                comm += dispatch + gather
+                compute += backbone + expert
+                sync += sync_unit
+                off_diag = matrix.sum() - np.trace(matrix)
+                total_bytes += 2.0 * off_diag
+                cross_bytes += 2.0 * cross_node_bytes_all_to_all(matrix,
+                                                                 self.topology)
+
+        head = 3.0 * self.flops.head_time(self.slowest_device, shard_tokens)
+        trainable = lora_backbone_param_count(config, self.lora_rank)
+        # Trainable-parameter gradients stay in full precision (the paper's
+        # mixed-precision setup keeps non-pretrained variables at fp32).
+        grad_bytes = trainable * 4.0
+        allreduce = ring_all_reduce_time(grad_bytes, self.topology)
+        optimizer = self.flops.optimizer_time(self.slowest_device, trainable)
+        total += head + allreduce + optimizer
+        compute += head + optimizer
+
+        # All-reduce traffic: ring volume per edge, over node-crossing edges.
+        ring_edge_bytes = 2.0 * (n - 1) / n * grad_bytes
+        cross_edges = self._ring_cross_edges()
+        allreduce_cross = ring_edge_bytes * cross_edges
+        allreduce_total = ring_edge_bytes * n
+        total_bytes += allreduce_total
+        cross_bytes += allreduce_cross
+
+        return StepMetrics(step=step, total_time=total, comm_time=comm,
+                           compute_time=compute, sync_time=sync,
+                           allreduce_time=allreduce, total_bytes=total_bytes,
+                           cross_node_bytes=cross_bytes,
+                           num_nodes=self.topology.num_nodes)
+
+    def _ring_cross_edges(self) -> int:
+        """Node-boundary edges of the natural worker ring 0-1-...-N-0."""
+        n = self.topology.num_workers
+        return sum(1 for w in range(n)
+                   if self.topology.is_cross_node(w, (w + 1) % n))
+
+    def run_trace(self, trace: RoutingTrace,
+                  max_steps: Optional[int] = None) -> RunMetrics:
+        """Replay every step of a routing trace."""
+        run = RunMetrics(strategy=self.strategy_name)
+        limit = trace.num_steps if max_steps is None else min(max_steps,
+                                                              trace.num_steps)
+        for step in range(limit):
+            run.append(self.run_step(trace.step_counts(step), step=step))
+        return run

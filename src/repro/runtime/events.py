@@ -1,0 +1,82 @@
+"""A minimal discrete-event simulation core.
+
+The runtime engines compute step timelines analytically (fork-join chains,
+matching the paper's cost model); this simulator exists to cross-validate
+those closed forms with an executable event graph (see
+``tests/runtime/test_events.py``) and to support contention studies where
+closed forms stop being exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Events are ``(time, seq, callback)`` tuples; ``seq`` breaks ties in
+    scheduling order, making runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events (optionally up to ``until``); return the final clock."""
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self._processed += 1
+            callback()
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        """Events the simulator has run."""
+        return self._processed
+
+
+class LinkResource:
+    """A FIFO-serialized transmission resource (e.g. one NIC).
+
+    ``occupy`` books a transfer of ``duration`` seconds starting no earlier
+    than ``start``; returns the completion time.  Used by contention-aware
+    engines to model a master process whose cross-node sends share one NIC.
+    """
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_time = 0.0
+
+    def occupy(self, start: float, duration: float) -> float:
+        """Book the resource; returns the completion time."""
+        if start < 0 or duration < 0:
+            raise ValueError("start and duration must be non-negative")
+        begin = max(start, self.free_at)
+        self.free_at = begin + duration
+        self.busy_time += duration
+        return self.free_at
+
+    def reset(self) -> None:
+        """Clear the resource timeline."""
+        self.free_at = 0.0
+        self.busy_time = 0.0

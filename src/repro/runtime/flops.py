@@ -1,0 +1,78 @@
+"""FLOP accounting: how long forward/backward computation takes.
+
+Standard transformer arithmetic: a linear layer of ``P`` parameters costs
+``2 P`` FLOPs per token forward and ``4 P`` backward (grad wrt inputs and
+weights).  Only the ratio of compute to communication matters for the
+reproduction's conclusions; absolute times inherit the device's
+``effective_flops`` calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.device import DeviceSpec
+from ..models.config import MoEModelConfig
+
+BACKWARD_MULTIPLIER = 2.0  # backward ~= 2x forward FLOPs
+
+
+@dataclass(frozen=True)
+class FlopModel:
+    """Per-token FLOP counts for one model configuration."""
+
+    config: MoEModelConfig
+
+    # ------------------------------------------------------------------ #
+    # per-token forward FLOPs
+    # ------------------------------------------------------------------ #
+    def expert_forward_flops(self) -> float:
+        """One token through one SwiGLU expert (three matmuls)."""
+        return 2.0 * self.config.expert_num_params()
+
+    def attention_forward_flops(self, seq_len: int) -> float:
+        """One token through one attention block (projections + scores)."""
+        h = self.config.hidden_size
+        projections = 2.0 * 4 * h * h
+        scores = 2.0 * 2 * h * seq_len  # QK^T and attn @ V
+        return projections + scores
+
+    def gate_forward_flops(self) -> float:
+        """FLOPs of one token through the router."""
+        return 2.0 * self.config.hidden_size * self.config.num_experts
+
+    def head_forward_flops(self) -> float:
+        """FLOPs of one token through the LM head."""
+        return 2.0 * self.config.hidden_size * self.config.vocab_size
+
+    # ------------------------------------------------------------------ #
+    # timed phases
+    # ------------------------------------------------------------------ #
+    def expert_time(self, device: DeviceSpec, tokens: float,
+                    backward: bool = False) -> float:
+        """Expert compute seconds for a token batch."""
+        flops = self.expert_forward_flops() * tokens
+        if backward:
+            flops *= BACKWARD_MULTIPLIER
+        return device.compute_time(flops)
+
+    def backbone_layer_time(self, device: DeviceSpec, tokens: float,
+                            seq_len: int, backward: bool = False) -> float:
+        """Attention + gate for one block over ``tokens`` tokens."""
+        flops = (self.attention_forward_flops(seq_len)
+                 + self.gate_forward_flops()) * tokens
+        if backward:
+            flops *= BACKWARD_MULTIPLIER
+        return device.compute_time(flops)
+
+    def head_time(self, device: DeviceSpec, tokens: float,
+                  backward: bool = False) -> float:
+        """LM-head compute seconds for a token batch."""
+        flops = self.head_forward_flops() * tokens
+        if backward:
+            flops *= BACKWARD_MULTIPLIER
+        return device.compute_time(flops)
+
+    def optimizer_time(self, device: DeviceSpec, trainable_params: float) -> float:
+        """AdamW update: ~10 elementwise ops per parameter."""
+        return device.compute_time(10.0 * trainable_params)

@@ -1,0 +1,142 @@
+"""Functionally-detached expert execution for live models.
+
+The paper's convergence argument (Section V-A) is that VELA "maintains
+identical computation logic to single-device fine-tuning" — experts live
+elsewhere, but the math is unchanged, so convergence is bit-identical.
+
+This module makes that claim *checkable* on the live tiny models: it
+restructures each MoE block's forward into the broker's execution order —
+group tokens by the worker that hosts their expert, run each worker's
+experts as a separate batch (as the real Expert Manager would), then combine
+— and the test suite asserts outputs and gradients match the monolithic
+forward exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..models.moe_block import MoEBlock
+from ..models.transformer import MoETransformer
+from ..nn.functional import scatter_rows
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from ..placement.base import Placement
+
+
+class BrokeredMoEBlock(Module):
+    """An MoE block executing in master-worker order.
+
+    Wraps an existing :class:`MoEBlock`, sharing its gate and expert
+    modules; only the *order* of computation changes (per-worker grouping),
+    which must be numerically irrelevant.
+    """
+
+    def __init__(self, block: MoEBlock, layer_assignment: np.ndarray):
+        super().__init__()
+        if len(layer_assignment) != block.num_experts:
+            raise ValueError("assignment length must equal num_experts")
+        self.block = block
+        self.layer_assignment = np.asarray(layer_assignment, dtype=np.int64)
+        self.tokens_per_worker_last: Dict[int, int] = {}
+
+    # MoEBlock API passthroughs so trainers/profilers work unchanged.
+    @property
+    def last_record(self):
+        """Most recent routing record (delegated)."""
+        return self.block.last_record
+
+    @property
+    def last_aux_loss(self):
+        """Most recent aux loss (delegated)."""
+        return self.block.last_aux_loss
+
+    @property
+    def gate(self):
+        """The shared gate module (delegated)."""
+        return self.block.gate
+
+    @property
+    def experts(self):
+        """The shared expert modules (delegated)."""
+        return self.block.experts
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the forward computation."""
+        batch, seq, hidden = x.shape
+        tokens = x.reshape(batch * seq, hidden)
+        gate_out = self.block.gate(tokens)
+        self.block.last_aux_loss = gate_out.aux_loss
+        if self.block.record_routing:
+            from ..models.moe_block import BlockRoutingRecord
+            rows = np.arange(gate_out.num_tokens)[:, None]
+            self.block.last_record = BlockRoutingRecord(
+                layer=self.block.layer_index,
+                expert_indices=gate_out.expert_indices.copy(),
+                selected_scores=gate_out.probs.data[
+                    rows, gate_out.expert_indices].copy(),
+                probs=gate_out.probs.data.copy())
+        num_tokens = tokens.shape[0]
+
+        # Broker view: for each worker, the (token, slot) pairs it serves.
+        worker_jobs: Dict[int, List] = {}
+        for slot in range(self.block.top_k):
+            experts = gate_out.expert_indices[:, slot]
+            for expert_id in np.unique(experts):
+                worker = int(self.layer_assignment[expert_id])
+                token_ids = np.nonzero(experts == expert_id)[0]
+                worker_jobs.setdefault(worker, []).append(
+                    (int(expert_id), slot, token_ids))
+
+        self.tokens_per_worker_last = {
+            worker: int(sum(len(t) for _, _, t in jobs))
+            for worker, jobs in worker_jobs.items()
+        }
+
+        contributions = []
+        for worker in sorted(worker_jobs):
+            # One "Expert Manager" receives its token batch and processes
+            # its hosted experts, one contiguous sub-batch per expert.
+            for expert_id, slot, token_ids in worker_jobs[worker]:
+                expert_out = self.block.experts[expert_id](tokens[token_ids])
+                weights = gate_out.combine_weights[
+                    (token_ids, np.full(len(token_ids), slot))]
+                contributions.append(scatter_rows(
+                    expert_out * weights.reshape(-1, 1), token_ids,
+                    num_tokens))
+        total = contributions[0]
+        for extra in contributions[1:]:
+            total = total + extra
+        return total.reshape(batch, seq, hidden)
+
+
+def detach_experts(model: MoETransformer, placement: Placement) -> int:
+    """Swap every MoE block for its brokered equivalent, in place.
+
+    Returns the number of blocks rewired.  The model's parameters are
+    untouched (the brokered block shares the original modules), so
+    checkpoints, LoRA state, and the optimizer keep working.
+    """
+    if placement.num_layers != model.config.num_layers or \
+            placement.num_experts != model.config.num_experts:
+        raise ValueError("placement shape does not match the model")
+    count = 0
+    for layer, block in enumerate(model.blocks):
+        moe = block.moe
+        if isinstance(moe, BrokeredMoEBlock):
+            moe = moe.block
+        block.moe = BrokeredMoEBlock(moe, placement.assignment[layer])
+        count += 1
+    return count
+
+
+def reattach_experts(model: MoETransformer) -> int:
+    """Undo :func:`detach_experts`, restoring the monolithic blocks."""
+    count = 0
+    for block in model.blocks:
+        if isinstance(block.moe, BrokeredMoEBlock):
+            block.moe = block.moe.block
+            count += 1
+    return count

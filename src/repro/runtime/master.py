@@ -1,0 +1,58 @@
+"""The master process: hosts the model backbone and drives fine-tuning.
+
+In VELA's framework the master owns everything except the experts: it runs
+attention/gating computation, initiates all transfers through the broker
+layers, and performs the trainer's optimizer step for backbone adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.device import DeviceSpec
+from ..models.config import MoEModelConfig
+from .flops import FlopModel
+
+
+@dataclass
+class MasterStats:
+    """Accumulated compute activity of the master process."""
+    compute_time: float = 0.0
+    steps: int = 0
+
+
+class MasterProcess:
+    """Backbone host: per-layer attention compute and step bookkeeping."""
+
+    def __init__(self, config: MoEModelConfig, device: DeviceSpec,
+                 flop_model: FlopModel, seq_len: int):
+        if seq_len < 1:
+            raise ValueError("seq_len must be positive")
+        self.config = config
+        self.device = device
+        self.flops = flop_model
+        self.seq_len = seq_len
+        self.stats = MasterStats()
+
+    def backbone_layer_time(self, tokens: float, backward: bool = False) -> float:
+        """Attention+gate compute seconds for one block."""
+        elapsed = self.flops.backbone_layer_time(self.device, tokens,
+                                                 self.seq_len, backward=backward)
+        self.stats.compute_time += elapsed
+        return elapsed
+
+    def head_time(self, tokens: float, backward: bool = False) -> float:
+        """LM-head compute seconds for a token batch."""
+        elapsed = self.flops.head_time(self.device, tokens, backward=backward)
+        self.stats.compute_time += elapsed
+        return elapsed
+
+    def optimizer_time(self, trainable_backbone_params: float) -> float:
+        """Optimizer-update compute seconds."""
+        elapsed = self.flops.optimizer_time(self.device, trainable_backbone_params)
+        self.stats.compute_time += elapsed
+        return elapsed
+
+    def end_step(self) -> None:
+        """Close out one step's bookkeeping."""
+        self.stats.steps += 1

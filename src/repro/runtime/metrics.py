@@ -1,0 +1,94 @@
+"""Run metrics: per-step timing and traffic, plus aggregation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Measurements of one simulated fine-tuning step.
+
+    Times are seconds, traffic is bytes.  ``comm_time``/``compute_time`` are
+    attributed spans (communication maxima and critical-path compute); they
+    need not sum exactly to ``total_time`` because fork-join phases overlap
+    per-worker chains.
+    """
+
+    step: int
+    total_time: float
+    comm_time: float
+    compute_time: float
+    sync_time: float
+    allreduce_time: float
+    total_bytes: float
+    cross_node_bytes: float
+    num_nodes: int
+
+    @property
+    def external_traffic_per_node(self) -> float:
+        """Average cross-node bytes per node (the paper's Fig. 5 metric)."""
+        return self.cross_node_bytes / self.num_nodes
+
+
+@dataclass
+class RunMetrics:
+    """A full fine-tuning run's step series."""
+
+    strategy: str
+    steps: List[StepMetrics] = field(default_factory=list)
+
+    def append(self, metrics: StepMetrics) -> None:
+        """Append one step's metrics."""
+        self.steps.append(metrics)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of recorded steps."""
+        return len(self.steps)
+
+    def _series(self, attr: str) -> np.ndarray:
+        return np.array([getattr(s, attr) for s in self.steps])
+
+    def step_times(self) -> np.ndarray:
+        """Average step time per strategy (seconds)."""
+        return self._series("total_time")
+
+    def external_traffic_series(self) -> np.ndarray:
+        """Per-step cross-node bytes per node (Fig. 5 curves)."""
+        return np.array([s.external_traffic_per_node for s in self.steps])
+
+    def avg_step_time(self) -> float:
+        """Mean step time in seconds."""
+        return float(self.step_times().mean())
+
+    def avg_external_traffic_per_node(self) -> float:
+        """Mean per-node cross-node bytes per step."""
+        return float(self.external_traffic_series().mean())
+
+    def total_cross_node_bytes(self) -> float:
+        """Cross-node bytes summed over the run."""
+        return float(self._series("cross_node_bytes").sum())
+
+    def total_bytes(self) -> float:
+        """All exchanged bytes summed over the run."""
+        return float(self._series("total_bytes").sum())
+
+    def avg_comm_time(self) -> float:
+        """Mean attributed communication time per step."""
+        return float(self._series("comm_time").mean())
+
+    def summary(self) -> dict:
+        """Flat dict for tabular reports."""
+        return {
+            "strategy": self.strategy,
+            "steps": self.num_steps,
+            "avg_step_time_s": self.avg_step_time(),
+            "avg_comm_time_s": self.avg_comm_time(),
+            "avg_external_traffic_mb_per_node":
+                self.avg_external_traffic_per_node() / 1e6,
+            "total_cross_node_gb": self.total_cross_node_bytes() / 1e9,
+        }

@@ -1,0 +1,74 @@
+"""Worker processes: the Expert Managers of VELA's framework.
+
+A worker hosts a shard of experts on one GPU.  Per block it receives token
+features, runs expert forward (and later backward) computation, and returns
+results.  The simulated worker tracks its busy time so reports can show
+utilization balance across the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cluster.device import DeviceSpec
+from .flops import FlopModel
+
+
+@dataclass
+class WorkerStats:
+    """Accumulated activity of one worker over a run."""
+
+    compute_time: float = 0.0
+    tokens_processed: float = 0.0
+    steps: int = 0
+
+    def utilization(self, wall_time: float) -> float:
+        """Busy fraction of the given wall time."""
+        if wall_time <= 0:
+            return 0.0
+        return min(self.compute_time / wall_time, 1.0)
+
+
+class WorkerProcess:
+    """One Expert Manager: expert shard + fwd/bwd compute + optimizer."""
+
+    def __init__(self, worker_id: int, device: DeviceSpec, flop_model: FlopModel):
+        self.worker_id = worker_id
+        self.device = device
+        self.flops = flop_model
+        self.stats = WorkerStats()
+        self.num_hosted_experts = 0
+
+    def host_experts(self, count: int) -> None:
+        """Record how many experts this worker hosts."""
+        if count < 0:
+            raise ValueError("expert count must be non-negative")
+        self.num_hosted_experts = count
+
+    # ------------------------------------------------------------------ #
+    # timed phases
+    # ------------------------------------------------------------------ #
+    def forward_time(self, tokens: float) -> float:
+        """Expert forward compute seconds (stats tracked)."""
+        elapsed = self.flops.expert_time(self.device, tokens, backward=False)
+        self.stats.compute_time += elapsed
+        self.stats.tokens_processed += tokens
+        return elapsed
+
+    def backward_time(self, tokens: float) -> float:
+        """Expert backward compute seconds (stats tracked)."""
+        elapsed = self.flops.expert_time(self.device, tokens, backward=True)
+        self.stats.compute_time += elapsed
+        return elapsed
+
+    def optimizer_time(self, trainable_params_per_expert: float) -> float:
+        """LoRA adapter update for every hosted expert."""
+        elapsed = self.flops.optimizer_time(
+            self.device, trainable_params_per_expert * self.num_hosted_experts)
+        self.stats.compute_time += elapsed
+        return elapsed
+
+    def end_step(self) -> None:
+        """Close out one step's bookkeeping."""
+        self.stats.steps += 1

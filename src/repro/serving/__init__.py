@@ -1,0 +1,16 @@
+"""Offloaded MoE serving simulation (expert caching, decode latency)."""
+
+from .batching import (BatchedDecodeSimulator, BatchedServingMetrics,
+                       Request, RequestOutcome, poisson_workload)
+from .cache import POLICIES, CacheStats, ExpertCache, hot_expert_keys
+from .engine import DecodeSimulator, ServingConfig, ServingMetrics
+from .prefetch import (PrefetchingDecodeSimulator, PrefetchStats,
+                       SpeculativePrefetcher)
+
+__all__ = [
+    "ExpertCache", "CacheStats", "POLICIES", "hot_expert_keys",
+    "DecodeSimulator", "ServingConfig", "ServingMetrics",
+    "BatchedDecodeSimulator", "BatchedServingMetrics", "Request",
+    "RequestOutcome", "poisson_workload",
+    "SpeculativePrefetcher", "PrefetchingDecodeSimulator", "PrefetchStats",
+]

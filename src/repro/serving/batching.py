@@ -1,0 +1,194 @@
+"""Continuous batching: concurrent decode streams sharing one expert cache.
+
+Single-stream decoding pays one potential fetch per (layer, expert) per
+token.  With several concurrent requests, tokens decoded in the same engine
+step share expert activations — a fetched expert serves every stream that
+routed to it — so cache pressure *per token* drops as concurrency rises.
+This simulates that effect plus simple request queueing:
+
+* Poisson request arrivals with configurable decode lengths,
+* a batch slot limit (max concurrent streams),
+* per-step expert union across active streams (fetch once, use many),
+* per-request latency = queueing + decode steps' wall time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..models.config import MoEModelConfig
+from ..routing.synthetic import SyntheticRouter
+from .cache import ExpertCache
+from .engine import ServingConfig
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival_time: float
+    decode_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.decode_tokens < 1:
+            raise ValueError("decode_tokens must be positive")
+
+
+def poisson_workload(num_requests: int, arrival_rate: float,
+                     mean_decode_tokens: int = 64,
+                     seed: int = 0) -> List[Request]:
+    """Sample a Poisson arrival stream with geometric decode lengths."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if mean_decode_tokens < 1:
+        raise ValueError("mean_decode_tokens must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate,
+                                         size=num_requests))
+    lengths = 1 + rng.geometric(1.0 / mean_decode_tokens, size=num_requests)
+    return [Request(i, float(arrivals[i]), int(lengths[i]))
+            for i in range(num_requests)]
+
+
+@dataclass
+class RequestOutcome:
+    """Timing of one completed request."""
+    request_id: int
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    decode_tokens: int
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for a batch slot."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-finish time."""
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class BatchedServingMetrics:
+    """Fleet-level outcome of a batched serving run."""
+    outcomes: List[RequestOutcome]
+    hit_rate: float
+    total_steps: int
+    wall_time: float
+
+    def mean_latency(self) -> float:
+        """Mean per-token latency in seconds."""
+        return float(np.mean([o.latency for o in self.outcomes]))
+
+    def p99_latency(self) -> float:
+        """99th-percentile per-token latency in seconds."""
+        return float(np.quantile([o.latency for o in self.outcomes], 0.99))
+
+    def mean_queueing(self) -> float:
+        """Mean queueing delay in seconds."""
+        return float(np.mean([o.queueing_delay for o in self.outcomes]))
+
+    def throughput_tokens_per_s(self) -> float:
+        """Decoded tokens per wall-clock second."""
+        total = sum(o.decode_tokens for o in self.outcomes)
+        return total / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class BatchedDecodeSimulator:
+    """Continuous-batching decode loop over a shared expert cache."""
+
+    def __init__(self, config: MoEModelConfig, router: SyntheticRouter,
+                 cache: ExpertCache, max_batch: int = 8,
+                 serving: Optional[ServingConfig] = None, seed: int = 0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.config = config
+        self.router = router
+        self.cache = cache
+        self.max_batch = max_batch
+        self.serving = serving or ServingConfig()
+        self.seed = seed
+        from ..runtime.flops import FlopModel
+        self._flops = FlopModel(config)
+        self._expert_nbytes = config.expert_nbytes()
+
+    def _step_compute_time(self, active: int) -> float:
+        """One engine step: every active stream advances one token."""
+        device = self.serving.device
+        per_block = self._flops.backbone_layer_time(
+            device, float(active), self.serving.context_len)
+        per_block += self.config.top_k * self._flops.expert_time(
+            device, float(active))
+        return per_block * self.config.num_layers + \
+            self._flops.head_time(device, float(active))
+
+    def run(self, requests: List[Request]) -> BatchedServingMetrics:
+        """Serve ``requests`` to completion."""
+        if not requests:
+            raise ValueError("need at least one request")
+        rng = np.random.default_rng(self.seed)
+        logits = self.router.base_logits
+        temperature = self.router.regime.gate_temperature
+        fetch = self.serving.fetch_time(self._expert_nbytes)
+        k = self.config.top_k
+
+        pending = sorted(requests, key=lambda r: r.arrival_time)
+        queue: List[Request] = []
+        active: dict = {}          # request_id -> tokens remaining
+        started: dict = {}
+        outcomes: List[RequestOutcome] = []
+        by_id = {r.request_id: r for r in requests}
+
+        now = 0.0
+        steps = 0
+        while pending or queue or active:
+            # admit arrivals up to now
+            while pending and pending[0].arrival_time <= now:
+                queue.append(pending.pop(0))
+            while queue and len(active) < self.max_batch:
+                request = queue.pop(0)
+                active[request.request_id] = request.decode_tokens
+                started[request.request_id] = max(now,
+                                                  request.arrival_time)
+            if not active:
+                now = pending[0].arrival_time
+                continue
+
+            # one engine step: union of experts needed across streams
+            needed = set()
+            for _ in active:
+                gumbel = rng.gumbel(size=logits.shape) * temperature
+                chosen = np.argpartition(-(logits + gumbel), k - 1,
+                                         axis=1)[:, :k]
+                for layer in range(self.config.num_layers):
+                    for expert in chosen[layer]:
+                        needed.add((layer, int(expert)))
+            misses = sum(0 if self.cache.access(key) else 1
+                         for key in sorted(needed))
+            now += self._step_compute_time(len(active)) + misses * fetch
+            steps += 1
+
+            finished = [rid for rid, left in active.items() if left <= 1]
+            for rid in active:
+                active[rid] -= 1
+            for rid in finished:
+                del active[rid]
+                request = by_id[rid]
+                outcomes.append(RequestOutcome(
+                    request_id=rid, arrival_time=request.arrival_time,
+                    start_time=started[rid], finish_time=now,
+                    decode_tokens=request.decode_tokens))
+
+        outcomes.sort(key=lambda o: o.request_id)
+        return BatchedServingMetrics(outcomes=outcomes,
+                                     hit_rate=self.cache.stats.hit_rate,
+                                     total_steps=steps, wall_time=now)

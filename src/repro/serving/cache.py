@@ -1,0 +1,127 @@
+"""Expert caching for offloaded MoE inference.
+
+The paper's related work (Fiddler, MoE-Infinity) serves MoE models whose
+experts don't fit in GPU memory by caching a subset on-device and fetching
+the rest from host RAM on demand.  This module implements the cache with
+three eviction/placement policies:
+
+* ``lru`` — classic recency eviction,
+* ``lfu`` — frequency eviction (MoE-Infinity-style activation awareness),
+* ``pinned`` — VELA's insight applied to serving: pin the experts the
+  locality profile says are hot, evict only among the unpinned remainder.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+ExpertKey = Tuple[int, int]  # (layer, expert)
+
+POLICIES = ("lru", "lfu", "pinned")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache."""
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total cache accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over total accesses."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class ExpertCache:
+    """Fixed-capacity expert cache with pluggable eviction policy.
+
+    Parameters
+    ----------
+    capacity:
+        Expert slots available on the device.
+    policy:
+        One of :data:`POLICIES`.
+    pinned:
+        For the ``pinned`` policy: expert keys that are never evicted
+        (typically the profile's hottest experts).  Must fit in capacity.
+    """
+
+    def __init__(self, capacity: int, policy: str = "lru",
+                 pinned: Optional[Set[ExpertKey]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        pinned = set(pinned or ())
+        if policy == "pinned" and len(pinned) > capacity:
+            raise ValueError(f"{len(pinned)} pinned experts exceed capacity "
+                             f"{capacity}")
+        if policy != "pinned" and pinned:
+            raise ValueError("pinned set requires the 'pinned' policy")
+        self.capacity = capacity
+        self.policy = policy
+        self.pinned = pinned
+        self.stats = CacheStats()
+        self._resident: "OrderedDict[ExpertKey, int]" = OrderedDict()
+        self._frequency: Dict[ExpertKey, int] = {}
+        # Pinned experts start resident (they are loaded at startup).
+        for key in sorted(pinned):
+            self._resident[key] = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident(self) -> Set[ExpertKey]:
+        """Keys currently cached."""
+        return set(self._resident)
+
+    def __contains__(self, key: ExpertKey) -> bool:
+        return key in self._resident
+
+    def access(self, key: ExpertKey) -> bool:
+        """Access one expert; returns True on hit (False triggered a fetch)."""
+        self._frequency[key] = self._frequency.get(key, 0) + 1
+        if key in self._resident:
+            self.stats.hits += 1
+            self._resident.move_to_end(key)
+            return True
+        self.stats.misses += 1
+        self._admit(key)
+        return False
+
+    def _admit(self, key: ExpertKey) -> None:
+        if len(self._resident) >= self.capacity:
+            self._evict()
+        self._resident[key] = 0
+        self._resident.move_to_end(key)
+
+    def _evict(self) -> None:
+        candidates = [k for k in self._resident if k not in self.pinned]
+        if not candidates:
+            raise RuntimeError("cache full of pinned experts; cannot admit")
+        if self.policy == "lfu":
+            victim = min(candidates, key=lambda k: (self._frequency.get(k, 0), k))
+        else:  # lru and pinned both evict by recency among the evictable
+            victim = next(k for k in self._resident if k not in self.pinned)
+        del self._resident[victim]
+        self.stats.evictions += 1
+
+
+def hot_expert_keys(probability_matrix: np.ndarray, budget: int) -> Set[ExpertKey]:
+    """The ``budget`` globally hottest experts — the pinned policy's input."""
+    p = np.asarray(probability_matrix)
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    flat = [(p[l, e], (l, e))
+            for l in range(p.shape[0]) for e in range(p.shape[1])]
+    flat.sort(reverse=True)
+    return {key for _, key in flat[:budget]}

@@ -1,0 +1,94 @@
+"""Tests for the bench harness: reports, workloads, experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (format_table, heatmap, histogram, paper_workload,
+                         percent, run_comparison_experiment,
+                         run_heatmap_experiment, series_panel, sparkline,
+                         tiny_finetune_workload)
+
+
+class TestReportRendering:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["long-name", 2.0]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+
+    def test_sparkline_length(self):
+        assert len(sparkline(np.arange(10), width=60)) == 10
+        assert len(sparkline(np.arange(500), width=40)) == 40
+
+    def test_sparkline_constant(self):
+        assert len(set(sparkline(np.ones(10)))) == 1
+
+    def test_sparkline_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_series_panel_contains_stats(self):
+        out = series_panel({"vela": np.array([1.5, 2.0, 3.5])}, unit="MB")
+        assert "min=1.5" in out and "max=3.5" in out and "MB" in out
+
+    def test_heatmap_dimensions(self):
+        out = heatmap(np.random.default_rng(0).random((4, 6)))
+        assert len(out.split("\n")) == 4
+
+    def test_heatmap_shading_monotone(self):
+        out = heatmap(np.array([[0.0, 1.0]]))
+        row = out.split("\n")[0]
+        assert "@" in row and " " in row.split("|")[1]
+
+    def test_histogram_bins(self):
+        out = histogram(np.random.default_rng(0).random(100), bins=5)
+        assert len(out.split("\n")) == 5
+
+    def test_percent(self):
+        assert percent(0.253) == "25.3%"
+
+
+class TestWorkloads:
+    def test_paper_workload_builds(self):
+        workload = paper_workload("mixtral", "wikitext", seed=1)
+        assert workload.name == "mixtral/wikitext"
+        assert workload.probability_matrix.shape == (32, 8)
+
+    def test_models_differ_by_seed_offset(self):
+        mix = paper_workload("mixtral", "wikitext", seed=1)
+        grit = paper_workload("gritlm", "wikitext", seed=1)
+        assert not np.array_equal(mix.probability_matrix,
+                                  grit.probability_matrix)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            paper_workload("gpt5", "wikitext")
+        with pytest.raises(ValueError):
+            paper_workload("mixtral", "c4")
+
+    def test_trace_geometry(self):
+        workload = paper_workload("mixtral", "alpaca", seed=1)
+        trace = workload.trace(num_steps=2)
+        assert trace.num_steps == 2
+        assert trace.tokens_per_step == workload.config.tokens_per_step
+
+    def test_tiny_finetune_workload(self):
+        model, loader = tiny_finetune_workload(seq_len=32)
+        inputs, targets = next(iter(loader))
+        assert inputs.shape == (8, 32)
+        assert model.config.vocab_size >= inputs.max() + 1
+
+
+class TestExperiments:
+    def test_comparison_experiment_small(self):
+        exp = run_comparison_experiment("mixtral", "wikitext", num_steps=2,
+                                        strategies=("sequential", "vela"))
+        assert set(exp.runs) == {"sequential", "vela"}
+        traffic = exp.traffic_mb_per_node()
+        assert traffic["vela"] < traffic["sequential"]
+
+    def test_heatmap_experiment_skew_ordering(self):
+        wiki = run_heatmap_experiment("mixtral", "wikitext")
+        alpaca = run_heatmap_experiment("mixtral", "alpaca")
+        assert wiki.concentration() < alpaca.concentration()
+        assert wiki.hot_expert_share(2) > alpaca.hot_expert_share(2)

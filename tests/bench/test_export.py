@@ -1,0 +1,74 @@
+"""Tests for markdown export of evaluation reports."""
+
+import pytest
+
+from repro.bench import (EvaluationReport, report_to_markdown,
+                         run_comparison_experiment, run_heatmap_experiment,
+                         write_markdown)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    report = EvaluationReport()
+    report.comparisons["mixtral/wikitext"] = run_comparison_experiment(
+        "mixtral", "wikitext", num_steps=2)
+    report.heatmaps["mixtral/wikitext"] = run_heatmap_experiment(
+        "mixtral", "wikitext")
+    report.elapsed_s = 1.0
+    return report
+
+
+class TestMarkdown:
+    def test_contains_tables(self, small_report):
+        md = report_to_markdown(small_report)
+        assert "## Fig. 5" in md
+        assert "## Fig. 6" in md
+        assert "## Fig. 7" in md
+        assert "| workload |" in md
+        assert "mixtral/wikitext" in md
+
+    def test_no_locality_section_when_absent(self, small_report):
+        md = report_to_markdown(small_report)
+        assert "## Fig. 3" not in md
+
+    def test_write_roundtrip(self, small_report, tmp_path):
+        path = str(tmp_path / "out" / "results.md")
+        write_markdown(small_report, path)
+        with open(path) as handle:
+            content = handle.read()
+        assert content.startswith("# Regenerated evaluation results")
+
+    def test_empty_report_renders(self):
+        md = report_to_markdown(EvaluationReport())
+        assert md.startswith("# Regenerated evaluation results")
+
+    def test_reductions_formatted_as_percent(self, small_report):
+        md = report_to_markdown(small_report)
+        assert "%" in md
+
+
+class TestTraceUtilities:
+    def test_concatenate(self, nano_config):
+        from repro.routing import RoutingTrace, SyntheticRouter, WIKITEXT_REGIME
+        router = SyntheticRouter(nano_config, WIKITEXT_REGIME, seed=0)
+        a = router.generate_trace(3, 64)
+        b = router.generate_trace(2, 64)
+        joined = RoutingTrace.concatenate([a, b])
+        assert joined.num_steps == 5
+        assert joined == RoutingTrace.concatenate([a, b])
+        assert joined != a
+
+    def test_concatenate_geometry_mismatch(self, nano_config):
+        from repro.models import tiny_mistral
+        from repro.routing import RoutingTrace, SyntheticRouter, WIKITEXT_REGIME
+        a = SyntheticRouter(nano_config, WIKITEXT_REGIME,
+                            seed=0).generate_trace(2, 64)
+        other = SyntheticRouter(tiny_mistral(), WIKITEXT_REGIME,
+                                seed=0).generate_trace(2, 64)
+        with pytest.raises(ValueError):
+            RoutingTrace.concatenate([a, other])
+
+    def test_concatenate_empty(self):
+        from repro.routing import RoutingTrace
+        with pytest.raises(ValueError):
+            RoutingTrace.concatenate([])

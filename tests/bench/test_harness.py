@@ -1,0 +1,54 @@
+"""Tests for the full-evaluation harness plumbing."""
+
+import pytest
+
+from repro.bench import (EvaluationReport, run_comparison_experiment,
+                         run_heatmap_experiment)
+
+
+@pytest.fixture(scope="module")
+def mini_report():
+    report = EvaluationReport()
+    report.comparisons["mixtral/wikitext"] = run_comparison_experiment(
+        "mixtral", "wikitext", num_steps=2,
+        strategies=("expert_parallel", "sequential", "random", "vela"))
+    report.heatmaps["mixtral/wikitext"] = run_heatmap_experiment(
+        "mixtral", "wikitext")
+    report.elapsed_s = 2.5
+    return report
+
+
+class TestEvaluationReport:
+    def test_render_contains_sections(self, mini_report):
+        text = mini_report.render()
+        assert "Fig. 5" in text
+        assert "Fig. 6" in text
+        assert "Fig. 7" in text
+        assert "mixtral/wikitext" in text
+
+    def test_traffic_table_has_all_strategies(self, mini_report):
+        table = mini_report.traffic_table()
+        for column in ("EP", "sequential", "random", "vela"):
+            assert column in table
+
+    def test_time_table_shows_reduction(self, mini_report):
+        assert "%" in mini_report.time_table()
+
+    def test_render_without_locality(self, mini_report):
+        assert "Fig. 3" not in mini_report.render()
+
+    def test_elapsed_reported(self, mini_report):
+        assert "2.5s" in mini_report.render()
+
+
+class TestCLIEvaluate:
+    def test_evaluate_skip_locality_small(self, tmp_path, capsys):
+        from repro.cli import main
+        md_path = str(tmp_path / "results.md")
+        code = main(["evaluate", "--steps", "2", "--skip-locality",
+                     "--markdown", md_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        with open(md_path) as handle:
+            assert "## Fig. 5" in handle.read()

@@ -1,0 +1,87 @@
+"""Tests for bandwidth probing and the noise study."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.cluster.probe import (NoisePoint, ProbeModel,
+                                 bandwidth_noise_study, probe_topology,
+                                 robust_estimate)
+from repro.models import nano_moe
+from repro.placement import PlacementProblem
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+
+
+class TestProbeModel:
+    def test_samples_positive(self, rng):
+        samples = ProbeModel(sigma=0.3).sample(1e9, 20, rng)
+        assert np.all(samples > 0)
+
+    def test_zero_noise_exact(self, rng):
+        samples = ProbeModel(sigma=0.0).sample(1e9, 5, rng)
+        np.testing.assert_allclose(samples, 1e9)
+
+    def test_unbiased_in_log_space(self):
+        rng = np.random.default_rng(0)
+        samples = ProbeModel(sigma=0.3).sample(1e9, 5000, rng)
+        assert np.median(samples) == pytest.approx(1e9, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ProbeModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            ProbeModel().sample(0, 5, rng)
+        with pytest.raises(ValueError):
+            ProbeModel().sample(1e9, 0, rng)
+
+
+class TestRobustEstimate:
+    def test_median_ignores_outliers(self):
+        samples = np.array([1.0, 1.1, 0.9, 1.05, 100.0])
+        assert robust_estimate(samples) == pytest.approx(1.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_estimate(np.array([]))
+
+
+class TestProbeTopology:
+    def test_estimates_near_truth(self):
+        topo = paper_cluster()
+        estimates = probe_topology(topo, ProbeModel(sigma=0.1), samples=9,
+                                   seed=0)
+        truth = topo.master_bandwidths()
+        for est, true in zip(estimates, truth):
+            assert est == pytest.approx(true, rel=0.3)
+
+    def test_deterministic(self):
+        topo = paper_cluster()
+        a = probe_topology(topo, ProbeModel(0.2), seed=3)
+        b = probe_topology(topo, ProbeModel(0.2), seed=3)
+        assert a == b
+
+
+class TestNoiseStudy:
+    @pytest.fixture
+    def problem(self):
+        config = nano_moe()
+        topology = paper_cluster()
+        router = SyntheticRouter(config, WIKITEXT_REGIME, seed=4)
+        return PlacementProblem(
+            config=config, topology=topology,
+            probability_matrix=router.probability_matrix(4096),
+            tokens_per_step=512, capacities=[1, 2, 2, 1, 1, 1])
+
+    def test_zero_noise_zero_regret(self, problem):
+        points = bandwidth_noise_study(problem, sigmas=[0.0], trials=1)
+        assert points[0].regret == pytest.approx(0.0, abs=1e-9)
+
+    def test_regret_nonnegative_and_reported(self, problem):
+        points = bandwidth_noise_study(problem, sigmas=[0.0, 0.8], trials=2)
+        assert all(p.regret >= -1e-9 for p in points)
+        # heavy noise can only do as well or worse than the truth
+        assert points[1].regret >= points[0].regret - 1e-9
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            bandwidth_noise_study(problem, sigmas=[])

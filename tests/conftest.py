@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterTopology, ExpertMemoryModel, Link,
+                           paper_cluster, v100_32gb)
+from repro.models import build_model, mixtral_8x7b_sim, nano_moe
+from repro.placement import PlacementProblem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def nano_config():
+    return nano_moe(seed=0)
+
+
+@pytest.fixture
+def nano_model(nano_config):
+    return build_model(nano_config)
+
+
+@pytest.fixture
+def small_topology():
+    """2 nodes x 2 GPUs — small but has both link classes."""
+    return ClusterTopology(num_nodes=2, gpus_per_node=2, device=v100_32gb(),
+                           intra_link=Link(18.3e9, 10e-6),
+                           cross_link=Link(1.17e9, 150e-6))
+
+
+@pytest.fixture
+def paper_topology():
+    return paper_cluster()
+
+
+@pytest.fixture
+def small_probability(nano_config, rng):
+    """A valid locality profile for the nano model: rows sum to top_k."""
+    raw = rng.dirichlet(np.ones(nano_config.num_experts),
+                        size=nano_config.num_layers)
+    return raw * nano_config.top_k
+
+
+@pytest.fixture
+def small_problem(nano_config, small_topology, small_probability):
+    return PlacementProblem(config=nano_config, topology=small_topology,
+                            probability_matrix=small_probability,
+                            tokens_per_step=64)
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = fn(x)
+        flat_x[i] = original - eps
+        minus = fn(x)
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad

@@ -1,0 +1,149 @@
+"""Tests for adaptive re-placement on non-stationary workloads."""
+
+import numpy as np
+import pytest
+
+from repro import VelaConfig, VelaSystem
+from repro.core import (AdaptivePlacementController, migration_plan_bytes,
+                        migration_time, phase_switch_trace, profile_drift)
+from repro.placement import Placement
+from repro.routing import (ALPACA_REGIME, UNIFORM_REGIME, WIKITEXT_REGIME,
+                           SyntheticRouter)
+
+
+@pytest.fixture
+def config(nano_config, small_topology):
+    # Tight capacities: placement decisions (and therefore re-placements)
+    # must spread experts; unconstrained nano capacity would let every
+    # profile map to the same everything-on-master placement.
+    return VelaConfig(model=nano_config, topology=small_topology,
+                      batch_size=2, seq_len=32, capacities=[2, 2, 2, 2])
+
+
+class TestProfileDrift:
+    def test_zero_for_identical(self, small_probability):
+        assert profile_drift(small_probability, small_probability) == 0.0
+
+    def test_bounded_by_one(self, nano_config):
+        a = np.zeros((2, 4))
+        a[:, 0] = 2.0
+        b = np.zeros((2, 4))
+        b[:, 3] = 2.0
+        assert profile_drift(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self, nano_config, rng):
+        a = rng.dirichlet(np.ones(4), size=2) * 2
+        b = rng.dirichlet(np.ones(4), size=2) * 2
+        assert profile_drift(a, b) == pytest.approx(profile_drift(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            profile_drift(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestMigration:
+    def test_no_move_no_bytes(self, nano_config):
+        p = Placement(np.zeros((2, 4), dtype=int))
+        assert migration_plan_bytes(p, p, nano_config).sum() == 0.0
+
+    def test_bytes_counted_at_destination(self, nano_config):
+        old = Placement(np.zeros((2, 4), dtype=int))
+        new_assignment = np.zeros((2, 4), dtype=int)
+        new_assignment[0, 0] = 2
+        new = Placement(new_assignment)
+        incoming = migration_plan_bytes(old, new, nano_config)
+        assert incoming[2] == pytest.approx(nano_config.expert_nbytes())
+        assert incoming[0] == 0.0
+
+    def test_migration_time_uses_slow_link(self, nano_config, small_topology):
+        old = Placement(np.zeros((2, 4), dtype=int))
+        to_intra = np.zeros((2, 4), dtype=int)
+        to_intra[0, 0] = 1  # same node as master
+        to_cross = np.zeros((2, 4), dtype=int)
+        to_cross[0, 0] = 2  # other node
+        t_intra = migration_time(old, Placement(to_intra), nano_config,
+                                 small_topology)
+        t_cross = migration_time(old, Placement(to_cross), nano_config,
+                                 small_topology)
+        assert t_cross > t_intra > 0
+
+    def test_shape_mismatch(self, nano_config):
+        with pytest.raises(ValueError):
+            migration_plan_bytes(Placement(np.zeros((1, 2), dtype=int)),
+                                 Placement(np.zeros((2, 2), dtype=int)),
+                                 nano_config)
+
+
+class TestPhaseSwitchTrace:
+    def test_concatenates_phases(self, nano_config):
+        trace = phase_switch_trace(nano_config,
+                                   [WIKITEXT_REGIME, ALPACA_REGIME],
+                                   tokens_per_step=64, steps_per_phase=5)
+        assert trace.num_steps == 10
+        assert "wikitext" in trace.model_name
+        assert "alpaca" in trace.model_name
+
+    def test_phases_statistically_differ(self, nano_config):
+        trace = phase_switch_trace(nano_config,
+                                   [WIKITEXT_REGIME, UNIFORM_REGIME],
+                                   tokens_per_step=512, steps_per_phase=10)
+        first = trace.probability_matrix(0, 10)
+        second = trace.probability_matrix(10, 20)
+        assert profile_drift(first, second) > 0.1
+
+    def test_validation(self, nano_config):
+        with pytest.raises(ValueError):
+            phase_switch_trace(nano_config, [WIKITEXT_REGIME], 64, 0)
+
+
+class TestController:
+    def test_stationary_workload_no_replacement(self, config):
+        router = SyntheticRouter(config.model, WIKITEXT_REGIME, seed=4)
+        trace = router.generate_trace(30, config.tokens_per_step)
+        controller = AdaptivePlacementController(config, check_interval=10,
+                                                 drift_threshold=0.3,
+                                                 window=10)
+        result = controller.run(trace, router.probability_matrix(2048))
+        assert result.num_replacements == 0
+        assert result.metrics.num_steps == 30
+
+    def test_phase_switch_triggers_replacement(self, config):
+        trace = phase_switch_trace(config.model,
+                                   [WIKITEXT_REGIME, UNIFORM_REGIME],
+                                   config.tokens_per_step,
+                                   steps_per_phase=20, seed=2)
+        router = SyntheticRouter(config.model, WIKITEXT_REGIME, seed=2)
+        controller = AdaptivePlacementController(config, check_interval=10,
+                                                 drift_threshold=0.1,
+                                                 window=10)
+        result = controller.run(trace, router.probability_matrix(2048))
+        assert result.num_replacements >= 1
+        first = result.events[0]
+        assert first.step > 20  # after the switch
+        assert first.experts_moved > 0
+        assert first.migration_time_s > 0
+
+    def test_adaptive_beats_static_after_switch(self, config):
+        """On the post-switch window, adaptive traffic <= static traffic."""
+        trace = phase_switch_trace(config.model,
+                                   [WIKITEXT_REGIME, UNIFORM_REGIME],
+                                   config.tokens_per_step,
+                                   steps_per_phase=25, seed=3)
+        router = SyntheticRouter(config.model, WIKITEXT_REGIME, seed=3)
+        profile = router.probability_matrix(2048)
+
+        system = VelaSystem(config)
+        static = system.simulate(trace, system.place(profile))
+        controller = AdaptivePlacementController(config, check_interval=5,
+                                                 drift_threshold=0.1,
+                                                 window=5)
+        adaptive = controller.run(trace, profile)
+        static_tail = static.external_traffic_series()[-10:].mean()
+        adaptive_tail = adaptive.metrics.external_traffic_series()[-10:].mean()
+        assert adaptive_tail <= static_tail + 1e-9
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            AdaptivePlacementController(config, check_interval=0)
+        with pytest.raises(ValueError):
+            AdaptivePlacementController(config, drift_threshold=1.5)

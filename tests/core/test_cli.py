@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "mixtral"
+        assert args.dataset == "wikitext"
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--model", "gpt5"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("evaluate", "compare", "place", "heatmap",
+                        "locality"):
+            args = parser.parse_args([command] if command != "place"
+                                     else ["place", "--output", "x.json"])
+            assert args.command == command
+
+
+class TestExecution:
+    def test_heatmap_runs(self, capsys):
+        assert main(["heatmap", "--dataset", "alpaca"]) == 0
+        out = capsys.readouterr().out
+        assert "access heatmap" in out
+        assert "top-2 share" in out
+
+    def test_compare_runs_small(self, capsys):
+        assert main(["compare", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "vela vs EP" in out
+
+    def test_place_writes_file(self, tmp_path, capsys):
+        path = str(tmp_path / "placement.json")
+        assert main(["place", "--output", path]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["model_name"] == "mixtral-8x7b-sim"
+        assert payload["extra"]["workload"] == "mixtral/wikitext"

@@ -1,0 +1,118 @@
+"""Tests for VelaConfig, VelaSystem and the strategy comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro import (PAPER_STRATEGIES, VelaConfig, VelaSystem,
+                   compare_strategies, make_strategy, reduction_vs)
+from repro.cluster import paper_cluster
+from repro.models import nano_moe
+from repro.placement import LocalityAwarePlacement, SequentialPlacement
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+
+
+@pytest.fixture
+def config(nano_config, small_topology):
+    return VelaConfig(model=nano_config, topology=small_topology,
+                      batch_size=2, seq_len=16)
+
+
+@pytest.fixture
+def router(nano_config):
+    return SyntheticRouter(nano_config, WIKITEXT_REGIME, seed=2)
+
+
+class TestVelaConfig:
+    def test_tokens_per_step(self, config):
+        assert config.tokens_per_step == 32
+
+    def test_seq_len_bounded_by_model(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            VelaConfig(model=nano_config, topology=small_topology,
+                       seq_len=nano_config.max_seq_len + 1)
+
+    def test_explicit_capacities_win(self, nano_config, small_topology):
+        cfg = VelaConfig(model=nano_config, topology=small_topology,
+                         seq_len=16, capacities=[2, 2, 2, 2])
+        assert cfg.worker_capacities() == [2, 2, 2, 2]
+
+    def test_derived_capacities(self, config):
+        caps = config.worker_capacities()
+        assert len(caps) == 4
+        assert all(c >= 0 for c in caps)
+
+    def test_validation(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            VelaConfig(model=nano_config, topology=small_topology,
+                       batch_size=0, seq_len=16)
+
+
+class TestVelaSystem:
+    def test_plan_produces_valid_placement(self, config, router):
+        system = VelaSystem(config)
+        solution = system.plan(router.probability_matrix(1024))
+        loads = solution.placement.worker_loads(4)
+        assert loads.sum() == config.model.total_experts
+
+    def test_plan_with_baseline_strategy(self, config, router):
+        system = VelaSystem(config, strategy=SequentialPlacement())
+        solution = system.plan(router.probability_matrix(1024))
+        assert solution.placement.name == "sequential"
+        assert solution.integrality_gap == 0.0
+
+    def test_simulate_runs(self, config, router):
+        system = VelaSystem(config)
+        placement = system.place(router.probability_matrix(1024))
+        trace = router.generate_trace(3, config.tokens_per_step)
+        metrics = system.simulate(trace, placement)
+        assert metrics.num_steps == 3
+
+    def test_full_run(self, config, router):
+        system = VelaSystem(config)
+        trace = router.generate_trace(2, config.tokens_per_step)
+        result = system.run(router.probability_matrix(1024), trace)
+        assert result["metrics"].num_steps == 2
+        assert result["solution"].placement is not None
+
+    def test_expert_parallel_mode(self, config, router):
+        system = VelaSystem(config, strategy=SequentialPlacement())
+        placement = system.place(router.probability_matrix(1024))
+        trace = router.generate_trace(2, config.tokens_per_step)
+        metrics = system.simulate(trace, placement, expert_parallel=True)
+        assert metrics.steps[0].sync_time > 0
+
+
+class TestStrategyRegistry:
+    def test_make_all_registered(self):
+        for name in PAPER_STRATEGIES:
+            assert make_strategy(name) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("quantum")
+
+    def test_vela_factory_type(self):
+        assert isinstance(make_strategy("vela"), LocalityAwarePlacement)
+
+
+class TestCompareStrategies:
+    def test_all_strategies_run_on_same_trace(self, config, router):
+        trace = router.generate_trace(3, config.tokens_per_step)
+        results = compare_strategies(config, trace,
+                                     router.probability_matrix(1024))
+        assert set(results) == set(PAPER_STRATEGIES)
+        assert all(r.num_steps == 3 for r in results.values())
+
+    def test_reduction_vs(self, config, router):
+        trace = router.generate_trace(3, config.tokens_per_step)
+        results = compare_strategies(config, trace,
+                                     router.probability_matrix(1024))
+        red = reduction_vs(results, "avg_external_traffic_mb_per_node")
+        assert -1.0 <= red <= 1.0
+
+    def test_subset_of_strategies(self, config, router):
+        trace = router.generate_trace(2, config.tokens_per_step)
+        results = compare_strategies(config, trace,
+                                     router.probability_matrix(1024),
+                                     strategies=("sequential", "vela"))
+        assert set(results) == {"sequential", "vela"}

@@ -1,0 +1,85 @@
+"""Tests for the from-scratch BPE tokenizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BPETokenizer, generate_wikitext
+
+
+CORPUS = "low lower lowest newer newest wide wider widest low low low newer"
+
+
+class TestTraining:
+    def test_learns_merges(self):
+        tok = BPETokenizer(CORPUS, num_merges=10)
+        assert tok.num_merges > 0
+        assert tok.vocab_size > 2
+
+    def test_zero_merges_is_character_level(self):
+        tok = BPETokenizer(CORPUS, num_merges=0)
+        assert tok.num_merges == 0
+        ids = tok.encode("low")
+        # 3 chars + end-of-word marker
+        assert len(ids) == 4
+
+    def test_more_merges_shorter_encodings(self):
+        small = BPETokenizer(CORPUS, num_merges=2)
+        big = BPETokenizer(CORPUS, num_merges=50)
+        text = "lowest newer"
+        assert len(big.encode(text)) <= len(small.encode(text))
+
+    def test_frequent_word_becomes_single_token(self):
+        corpus = " ".join(["the"] * 50 + ["cat", "dog"])
+        tok = BPETokenizer(corpus, num_merges=30)
+        assert len(tok.encode("the")) == 1
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            BPETokenizer().encode("hello")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BPETokenizer(CORPUS, num_merges=-1)
+
+
+class TestRoundtrip:
+    def test_known_words(self):
+        tok = BPETokenizer(CORPUS, num_merges=20)
+        assert tok.decode(tok.encode("low lower")) == "low lower"
+
+    def test_unseen_word_of_seen_chars(self):
+        tok = BPETokenizer(CORPUS, num_merges=20)
+        # 'sewer' uses only characters present in the corpus
+        assert tok.decode(tok.encode("sewer")) == "sewer"
+
+    def test_unseen_char_maps_to_unk(self):
+        tok = BPETokenizer(CORPUS, num_merges=5)
+        ids = tok.encode("zzz")
+        assert tok.unk_id in ids
+
+    def test_wikitext_roundtrip(self):
+        corpus = generate_wikitext(num_articles=10, seed=0)
+        tok = BPETokenizer(corpus, num_merges=100)
+        sample = " ".join(corpus.split()[:30])
+        assert tok.decode(tok.encode(sample)) == sample
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip_any_merge_count(self, merges):
+        tok = BPETokenizer(CORPUS, num_merges=merges)
+        text = "low wider newest"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_encode_returns_int64(self):
+        tok = BPETokenizer(CORPUS, num_merges=5)
+        assert tok.encode("low").dtype == np.int64
+
+    def test_compression_on_training_corpus(self):
+        """BPE must compress its own training corpus vs character level."""
+        corpus = generate_wikitext(num_articles=20, seed=1)
+        char_level = BPETokenizer(corpus, num_merges=0)
+        trained = BPETokenizer(corpus, num_merges=300)
+        sample = " ".join(corpus.split()[:200])
+        assert len(trained.encode(sample)) < 0.6 * len(char_level.encode(sample))

@@ -1,0 +1,88 @@
+"""Tests for training-state checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.finetune.checkpoint import (load_optimizer_state,
+                                       load_training_state,
+                                       optimizer_state_dict,
+                                       save_training_state)
+from repro.lora import inject_lora
+from repro.models import build_model, nano_moe
+from repro.nn import AdamW
+
+
+def trained_pair(nano_config, rng, steps=3):
+    """A model+optimizer that have taken a few real steps."""
+    model = build_model(nano_config)
+    inject_lora(model)
+    optimizer = AdamW(model.trainable_parameters(), lr=1e-3)
+    for _ in range(steps):
+        ids = rng.integers(0, nano_config.vocab_size, size=(2, 8))
+        loss = model.loss(ids, ids)
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return model, optimizer
+
+
+class TestOptimizerState:
+    def test_roundtrip_restores_moments(self, nano_config, rng):
+        model, optimizer = trained_pair(nano_config, rng)
+        state = optimizer_state_dict(optimizer)
+        fresh = AdamW(model.trainable_parameters(), lr=1e-3)
+        load_optimizer_state(fresh, state)
+        assert fresh._step == optimizer._step
+        for a, b in zip(fresh._m, optimizer._m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mismatched_params_rejected(self, nano_config, rng):
+        _, optimizer = trained_pair(nano_config, rng)
+        state = optimizer_state_dict(optimizer)
+        other = build_model(nano_moe(seed=2))
+        inject_lora(other)
+        small = AdamW(other.trainable_parameters()[:2], lr=1e-3)
+        with pytest.raises(ValueError):
+            load_optimizer_state(small, state)
+
+
+class TestResume:
+    def test_resumed_step_identical_to_uninterrupted(self, nano_config, rng,
+                                                     tmp_path):
+        """Save after N steps, restore into fresh objects, take one more
+        identical step — parameters must match the uninterrupted run."""
+        batch = (rng.integers(0, nano_config.vocab_size, size=(2, 8)),
+                 rng.integers(0, nano_config.vocab_size, size=(2, 8)))
+
+        def one_step(model, optimizer):
+            loss = model.loss(*batch)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        # Run A: continuous.
+        rng_a = np.random.default_rng(0)
+        model_a, opt_a = trained_pair(nano_config, rng_a, steps=3)
+        one_step(model_a, opt_a)
+
+        # Run B: checkpoint after 3 steps, restore, then one more step.
+        rng_b = np.random.default_rng(0)
+        model_b, opt_b = trained_pair(nano_config, rng_b, steps=3)
+        path = str(tmp_path / "state.npz")
+        save_training_state(model_b, opt_b, path, step=3)
+
+        model_c = build_model(nano_config)
+        inject_lora(model_c)
+        opt_c = AdamW(model_c.trainable_parameters(), lr=1e-3)
+        resumed_step = load_training_state(model_c, opt_c, path)
+        assert resumed_step == 3
+        one_step(model_c, opt_c)
+
+        for (name, pa), (_, pc) in zip(model_a.named_parameters(),
+                                       model_c.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pc.data, err_msg=name)
+
+    def test_missing_file_raises(self, nano_config, rng, tmp_path):
+        model, optimizer = trained_pair(nano_config, rng, steps=1)
+        with pytest.raises(FileNotFoundError):
+            load_training_state(model, optimizer, str(tmp_path / "nope.npz"))

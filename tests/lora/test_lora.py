@@ -1,0 +1,129 @@
+"""Tests for LoRA adapters, configuration matching, injection and merge."""
+
+import numpy as np
+import pytest
+
+from repro.lora import (LoRAConfig, LoRALinear, inject_lora, lora_parameters,
+                        merge_lora)
+from repro.models import build_model, nano_moe
+from repro.nn import Linear, Tensor
+
+
+class TestLoRAConfig:
+    def test_defaults_match_paper(self):
+        cfg = LoRAConfig()
+        assert cfg.rank == 8
+        assert cfg.alpha == 16.0
+        assert cfg.scaling == 2.0
+
+    def test_gate_excluded(self):
+        cfg = LoRAConfig()
+        assert not cfg.matches("blocks.0.moe.gate.router")
+        assert cfg.matches("blocks.0.moe.experts.0.w_gate")
+        assert cfg.matches("blocks.0.attn.q_proj")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoRAConfig(rank=0)
+        with pytest.raises(ValueError):
+            LoRAConfig(alpha=-1)
+        with pytest.raises(ValueError):
+            LoRAConfig(dropout=1.0)
+
+
+class TestLoRALinear:
+    def test_initial_output_identical_to_base(self, rng):
+        base = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(3, 6))
+        expected = base(Tensor(x)).data.copy()
+        adapted = LoRALinear(base, LoRAConfig())
+        np.testing.assert_array_equal(adapted(Tensor(x)).data, expected)
+
+    def test_base_frozen_adapters_trainable(self, rng):
+        adapted = LoRALinear(Linear(6, 4, rng=rng), LoRAConfig())
+        trainable = {id(p) for p in adapted.trainable_parameters()}
+        assert trainable == {id(adapted.lora_a), id(adapted.lora_b)}
+
+    def test_update_changes_output(self, rng):
+        adapted = LoRALinear(Linear(6, 4, rng=rng), LoRAConfig())
+        x = rng.normal(size=(2, 6))
+        before = adapted(Tensor(x)).data.copy()
+        adapted.lora_b.data += 0.1
+        after = adapted(Tensor(x)).data
+        assert np.abs(after - before).max() > 0
+
+    def test_merge_equivalence(self, rng):
+        adapted = LoRALinear(Linear(6, 4, rng=rng), LoRAConfig(rank=4))
+        adapted.lora_a.data = rng.normal(size=adapted.lora_a.shape)
+        adapted.lora_b.data = rng.normal(size=adapted.lora_b.shape)
+        x = rng.normal(size=(5, 6))
+        merged = adapted.merge()
+        np.testing.assert_allclose(merged(Tensor(x)).data,
+                                   adapted(Tensor(x)).data, atol=1e-10)
+
+    def test_num_lora_params(self, rng):
+        adapted = LoRALinear(Linear(6, 4, rng=rng), LoRAConfig(rank=3))
+        assert adapted.num_lora_params() == 3 * 6 + 4 * 3
+
+    def test_scaling_applied(self, rng):
+        cfg = LoRAConfig(rank=2, alpha=8.0)  # scaling 4
+        adapted = LoRALinear(Linear(4, 4, rng=rng), cfg)
+        adapted.lora_a.data = np.ones((2, 4))
+        adapted.lora_b.data = np.ones((4, 2))
+        x = np.ones((1, 4))
+        base_out = adapted.base(Tensor(x)).data
+        out = adapted(Tensor(x)).data
+        np.testing.assert_allclose(out - base_out, 4.0 * 2 * 4, atol=1e-10)
+
+
+class TestInjection:
+    def test_injects_everything_but_gate(self, nano_model, nano_config):
+        report = inject_lora(nano_model)
+        assert report.num_adapted > 0
+        assert not any("gate.router" in path for path in report.adapted_paths)
+        assert any("gate.router" in path for path in report.skipped_paths)
+        # every expert got three adapters
+        expert_adapted = [p for p in report.adapted_paths if "experts" in p]
+        assert len(expert_adapted) == nano_config.total_experts * 3
+
+    def test_only_adapters_trainable(self, nano_model):
+        inject_lora(nano_model)
+        for name, p in nano_model.named_parameters():
+            if p.requires_grad:
+                assert "lora_a" in name or "lora_b" in name
+
+    def test_output_unchanged_at_injection(self, nano_config, rng):
+        m1, m2 = build_model(nano_config), build_model(nano_config)
+        inject_lora(m2)
+        ids = rng.integers(0, nano_config.vocab_size, size=(1, 6))
+        np.testing.assert_allclose(m1.forward(ids).data,
+                                   m2.forward(ids).data, atol=1e-12)
+
+    def test_trainable_fraction_small(self, nano_model):
+        report = inject_lora(nano_model, LoRAConfig(rank=2))
+        assert 0 < report.trainable_fraction() < 0.5
+
+    def test_no_match_raises(self, nano_model):
+        with pytest.raises(ValueError):
+            inject_lora(nano_model,
+                        LoRAConfig(target_substrings=("nonexistent_layer",)))
+
+    def test_lora_parameters_helper(self, nano_model):
+        report = inject_lora(nano_model)
+        params = lora_parameters(nano_model)
+        assert len(params) == 2 * report.num_adapted
+
+
+class TestMerge:
+    def test_merge_restores_plain_linears(self, nano_model, nano_config, rng):
+        inject_lora(nano_model)
+        # Perturb adapters so merge is non-trivial.
+        for p in lora_parameters(nano_model):
+            p.data += rng.normal(size=p.shape) * 0.01
+        ids = rng.integers(0, nano_config.vocab_size, size=(1, 6))
+        before = nano_model.forward(ids).data.copy()
+        count = merge_lora(nano_model)
+        assert count > 0
+        after = nano_model.forward(ids).data
+        np.testing.assert_allclose(after, before, atol=1e-10)
+        assert len(lora_parameters(nano_model)) == 0

@@ -1,0 +1,90 @@
+"""Tests for MoEModelConfig validation and derived quantities."""
+
+import pytest
+
+from repro.models import (MoEModelConfig, gritlm_8x7b_sim, mixtral_8x7b_sim,
+                          nano_moe, tiny_mistral)
+
+
+def make_config(**overrides):
+    base = dict(name="t", vocab_size=10, hidden_size=8, num_layers=2,
+                num_experts=4, top_k=2, num_heads=2, ffn_hidden_size=16)
+    base.update(overrides)
+    return MoEModelConfig(**base)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        make_config()
+
+    def test_top_k_bounds(self):
+        with pytest.raises(ValueError):
+            make_config(top_k=0)
+        with pytest.raises(ValueError):
+            make_config(top_k=5)
+
+    def test_heads_divide_hidden(self):
+        with pytest.raises(ValueError):
+            make_config(hidden_size=10, num_heads=3)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            make_config(vocab_size=0)
+        with pytest.raises(ValueError):
+            make_config(num_layers=-1)
+
+
+class TestDerivedSizes:
+    def test_total_experts(self):
+        assert make_config().total_experts == 8
+
+    def test_expert_params(self):
+        cfg = make_config()
+        assert cfg.expert_num_params() == 3 * 8 * 16
+
+    def test_expert_nbytes_fp16(self):
+        cfg = make_config()
+        assert cfg.expert_nbytes(2) == 2 * cfg.expert_num_params()
+
+    def test_token_feature_nbytes(self):
+        cfg = make_config(bits_per_feature=16, hidden_size=8)
+        assert cfg.token_feature_nbytes() == 16 * 8 / 8
+
+    def test_with_overrides_is_copy(self):
+        cfg = make_config()
+        other = cfg.with_overrides(top_k=1)
+        assert cfg.top_k == 2 and other.top_k == 1
+
+
+class TestPresets:
+    def test_tiny_mistral_matches_paper_topology(self):
+        cfg = tiny_mistral()
+        assert (cfg.num_layers, cfg.num_experts, cfg.top_k) == (12, 6, 2)
+        assert cfg.is_buildable()
+
+    def test_mixtral_spec_matches_paper(self):
+        cfg = mixtral_8x7b_sim()
+        assert (cfg.num_layers, cfg.num_experts, cfg.top_k) == (32, 8, 2)
+        assert cfg.hidden_size == 4096
+        assert cfg.bits_per_feature == 16
+        # 16.4 MB-scale per-block exchange at ~2000 tokens (Section V-B).
+        assert 15e6 < cfg.token_feature_nbytes() * 2000 < 17e6
+
+    def test_mixtral_not_buildable(self):
+        cfg = mixtral_8x7b_sim()
+        assert not cfg.is_buildable()
+        with pytest.raises(ValueError):
+            cfg.assert_buildable()
+
+    def test_gritlm_same_architecture(self):
+        g, m = gritlm_8x7b_sim(), mixtral_8x7b_sim()
+        assert g.num_layers == m.num_layers
+        assert g.num_experts == m.num_experts
+        assert g.name != m.name
+
+    def test_nano_buildable(self):
+        nano_moe().assert_buildable()
+
+    def test_mixtral_parameter_scale(self):
+        # ~46-47B parameters for Mixtral-8x7B
+        assert 40e9 < mixtral_8x7b_sim().total_num_params() < 55e9

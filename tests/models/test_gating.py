@@ -1,0 +1,115 @@
+"""Tests for the top-k gate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import TopKGate
+from repro.nn import Tensor
+
+
+def make_gate(hidden=8, experts=6, k=2, aux=0.0, seed=0):
+    return TopKGate(hidden, experts, k, aux_loss_weight=aux,
+                    rng=np.random.default_rng(seed))
+
+
+class TestGateOutput:
+    def test_shapes(self, rng):
+        gate = make_gate()
+        out = gate(Tensor(rng.normal(size=(10, 8))))
+        assert out.probs.shape == (10, 6)
+        assert out.expert_indices.shape == (10, 2)
+        assert out.combine_weights.shape == (10, 2)
+
+    def test_probs_are_softmax(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(5, 8))))
+        np.testing.assert_allclose(out.probs.data.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_combine_weights_normalized(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(7, 8))))
+        np.testing.assert_allclose(out.combine_weights.data.sum(axis=1), 1.0,
+                                   atol=1e-9)
+
+    def test_indices_are_top_scores(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(6, 8))))
+        for t in range(6):
+            chosen = set(out.expert_indices[t])
+            top = set(np.argsort(-out.probs.data[t])[:2])
+            assert chosen == top
+
+    def test_indices_ordered_by_score(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(6, 8))))
+        rows = np.arange(6)
+        first = out.probs.data[rows, out.expert_indices[:, 0]]
+        second = out.probs.data[rows, out.expert_indices[:, 1]]
+        assert np.all(first >= second)
+
+    def test_selected_score_sums(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(4, 8))))
+        sums = out.selected_score_sums()
+        rows = np.arange(4)
+        expected = out.probs.data[rows[:, None], out.expert_indices].sum(axis=1)
+        np.testing.assert_allclose(sums, expected)
+        assert np.all(sums <= 1.0 + 1e-12)
+        assert np.all(sums >= 2.0 / 6 - 1e-12)  # top-2 of 6 >= uniform share
+
+    def test_access_counts_sum(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(9, 8))))
+        counts = out.access_counts(6)
+        assert counts.sum() == 9 * 2
+
+    def test_rejects_3d_input(self, rng):
+        with pytest.raises(ValueError):
+            make_gate()(Tensor(rng.normal(size=(2, 3, 8))))
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            TopKGate(8, 4, 5)
+
+
+class TestAuxLoss:
+    def test_disabled_by_default(self, rng):
+        out = make_gate()(Tensor(rng.normal(size=(4, 8))))
+        assert out.aux_loss is None
+
+    def test_enabled_positive_scalar(self, rng):
+        out = make_gate(aux=0.1)(Tensor(rng.normal(size=(16, 8))))
+        assert out.aux_loss is not None
+        assert float(out.aux_loss.data) > 0
+
+    def test_uniform_routing_minimizes(self):
+        """Aux loss is ~1*weight at perfect balance, larger when skewed."""
+        gate = make_gate(aux=1.0)
+        # Force near-uniform logits by zeroing the router weight.
+        gate.router.weight.data[:] = 0.0
+        out = gate(Tensor(np.random.default_rng(0).normal(size=(600, 8))))
+        np.testing.assert_allclose(float(out.aux_loss.data), 1.0, atol=0.1)
+
+    def test_gradient_flows_from_aux(self, rng):
+        gate = make_gate(aux=0.5)
+        out = gate(Tensor(rng.normal(size=(8, 8))))
+        out.aux_loss.backward()
+        assert gate.router.weight.grad is not None
+
+
+class TestGateGradients:
+    def test_combine_weights_carry_gradient(self, rng):
+        gate = make_gate()
+        x = Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+        out = gate(x)
+        out.combine_weights.sum().backward()
+        assert gate.router.weight.grad is not None
+
+    @given(st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_counts_match_tokens(self, experts, k):
+        if k > experts:
+            return
+        gate = TopKGate(4, experts, k, rng=np.random.default_rng(experts))
+        tokens = np.random.default_rng(k).normal(size=(11, 4))
+        out = gate(Tensor(tokens))
+        assert out.access_counts(experts).sum() == 11 * k
+        # no duplicate experts within one token's selection
+        for row in out.expert_indices:
+            assert len(set(row)) == k

@@ -1,0 +1,59 @@
+"""Tests for multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadAttention, Tensor, causal_mask
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0)
+        assert np.all(mask[np.triu_indices(4, k=1)] < -1e8)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadAttention(dim=16, num_heads=4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(dim=10, num_heads=3)
+
+    def test_causality_future_tokens_do_not_affect_past(self, rng):
+        """Changing token t must not change outputs at positions < t."""
+        attn = MultiHeadAttention(dim=8, num_heads=2, causal=True, rng=rng)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attn(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-10)
+
+    def test_non_causal_sees_future(self, rng):
+        attn = MultiHeadAttention(dim=8, num_heads=2, causal=False, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 3] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert np.abs(out[0, 0] - base[0, 0]).max() > 1e-6
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        attn = MultiHeadAttention(dim=8, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.o_proj):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).sum() > 0
+
+    def test_deterministic_given_seed(self):
+        a1 = MultiHeadAttention(8, 2, rng=np.random.default_rng(7))
+        a2 = MultiHeadAttention(8, 2, rng=np.random.default_rng(7))
+        x = np.ones((1, 2, 8))
+        np.testing.assert_array_equal(a1(Tensor(x)).data, a2(Tensor(x)).data)

@@ -1,0 +1,77 @@
+"""Numerical robustness tests: extreme values, masks, degenerate shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import cross_entropy, log_softmax, softmax
+
+
+class TestExtremeLogits:
+    def test_softmax_with_additive_mask(self):
+        """The attention pattern: -1e9 mask entries get ~zero probability."""
+        logits = np.array([[1.0, 2.0, -1e9, 0.5]])
+        probs = softmax(Tensor(logits)).data
+        assert probs[0, 2] < 1e-30
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_softmax_all_masked_but_one(self):
+        logits = np.array([[-1e9, -1e9, 3.0]])
+        probs = softmax(Tensor(logits)).data
+        np.testing.assert_allclose(probs, [[0.0, 0.0, 1.0]], atol=1e-30)
+
+    def test_log_softmax_no_nan_at_large_spread(self):
+        logits = np.array([[1000.0, -1000.0]])
+        out = log_softmax(Tensor(logits)).data
+        assert np.all(np.isfinite(out[0, 0:1]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_softmax_gradient_finite_under_mask(self):
+        x = Tensor(np.array([[5.0, -1e9, 2.0]]), requires_grad=True)
+        softmax(x).sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_cross_entropy_confident_correct_is_small(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss = cross_entropy(Tensor(logits), np.array([0]))
+        assert float(loss.data) < 1e-10
+
+    def test_cross_entropy_confident_wrong_is_large_but_finite(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss = cross_entropy(Tensor(logits), np.array([1]))
+        assert 50 < float(loss.data) < 200
+        assert np.isfinite(float(loss.data))
+
+
+class TestDegenerateShapes:
+    def test_single_token_forward(self, nano_model):
+        logits = nano_model.forward(np.array([[3]]))
+        assert logits.shape == (1, 1, nano_model.config.vocab_size)
+
+    def test_single_expert_gate(self):
+        from repro.models import TopKGate
+        gate = TopKGate(4, 1, 1, rng=np.random.default_rng(0))
+        out = gate(Tensor(np.random.default_rng(1).normal(size=(3, 4))))
+        np.testing.assert_array_equal(out.expert_indices, [[0], [0], [0]])
+        np.testing.assert_allclose(out.combine_weights.data, 1.0)
+
+    def test_batch_of_one(self, nano_model, nano_config, rng):
+        ids = rng.integers(0, nano_config.vocab_size, size=(1, 4))
+        loss = nano_model.loss(ids, ids)
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+
+
+class TestDtypeStability:
+    def test_long_training_no_drift_to_nan(self, nano_model, nano_config, rng):
+        from repro.nn import AdamW
+        opt = AdamW(nano_model.trainable_parameters(), lr=5e-3)
+        ids = rng.integers(0, nano_config.vocab_size, size=(2, 8))
+        for _ in range(30):
+            loss = nano_model.loss(ids, ids)
+            nano_model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.isfinite(float(loss.data))
+        for p in nano_model.parameters():
+            assert np.all(np.isfinite(p.data))

@@ -1,0 +1,113 @@
+"""Tests for SGD / AdamW / gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, AdamW, GradClipper
+from repro.nn.layers import Parameter
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value]))
+    p.grad = np.array([grad])
+    return p
+
+
+class TestSGD:
+    def test_plain_update_matches_theorem_assumption(self):
+        """w_t = w_{t-1} - mu * grad, exactly (Theorem 1's optimizer)."""
+        p = make_param(1.0, 0.5)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()
+        p.grad = np.array([1.0])
+        opt.step()
+        # velocity: 1.0 then 1.9 -> total displacement 2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = make_param(2.0, 0.0)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_skips_param_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_requires_trainable_params(self):
+        p = Parameter(np.array([1.0]), requires_grad=False)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1)
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdamW:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction, the first Adam step magnitude is ~lr."""
+        p = make_param(0.0, 0.3)
+        AdamW([p], lr=0.01, weight_decay=0.0).step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-6)
+
+    def test_decoupled_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        p.grad = np.array([0.0])
+        AdamW([p], lr=0.1, weight_decay=0.01).step()
+        # decay applies even with zero gradient (decoupled)
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 0.01 * 10.0])
+
+    def test_descends_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = AdamW([p], lr=0.5, weight_decay=0.0)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(float(p.data[0])) < 0.5
+
+    def test_paper_defaults(self):
+        opt = AdamW([make_param()])
+        assert opt.lr == 3e-5
+        assert (opt.beta1, opt.beta2) == (0.8, 0.999)
+        assert opt.eps == 1e-8
+        assert opt.weight_decay == 3e-7
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            AdamW([make_param()], betas=(1.0, 0.9))
+
+    def test_state_is_per_parameter(self):
+        p1, p2 = make_param(0.0, 1.0), make_param(0.0, -1.0)
+        AdamW([p1, p2], lr=0.1, weight_decay=0.0).step()
+        assert p1.data[0] < 0 < p2.data[0]
+
+
+class TestGradClipper:
+    def test_clips_large_norm(self):
+        p = make_param(0.0, 3.0)
+        q = make_param(0.0, 4.0)
+        norm = GradClipper(1.0).clip([p, q])
+        np.testing.assert_allclose(norm, 5.0)
+        total = np.sqrt(p.grad[0] ** 2 + q.grad[0] ** 2)
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_leaves_small_norm(self):
+        p = make_param(0.0, 0.1)
+        GradClipper(1.0).clip([p])
+        np.testing.assert_allclose(p.grad, [0.1])
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            GradClipper(0.0)

@@ -1,0 +1,46 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Linear, checkpoint_nbytes, load_checkpoint,
+                      save_checkpoint)
+from repro.nn.layers import Module
+
+
+class Net(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.fc = Linear(3, 2, rng=np.random.default_rng(seed))
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        m1, m2 = Net(seed=0), Net(seed=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(m1, path)
+        load_checkpoint(m2, path)
+        np.testing.assert_array_equal(m1.fc.weight.data, m2.fc.weight.data)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(Net(), str(tmp_path / "nope.npz"))
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "ckpt.npz")
+        save_checkpoint(Net(), path)
+        load_checkpoint(Net(), path)
+
+    def test_strict_mismatch(self, tmp_path):
+        class Other(Module):
+            def __init__(self):
+                super().__init__()
+                self.other = Linear(3, 2)
+
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Net(), path)
+        with pytest.raises(KeyError):
+            load_checkpoint(Other(), path)
+
+    def test_nbytes(self):
+        assert checkpoint_nbytes(Net()) == (3 * 2 + 2) * 8

@@ -1,0 +1,90 @@
+"""Tests for Placement and PlacementProblem."""
+
+import numpy as np
+import pytest
+
+from repro.placement import Placement, PlacementProblem
+
+
+class TestPlacement:
+    def test_valid_construction(self):
+        p = Placement(np.array([[0, 1], [1, 0]]))
+        assert p.num_layers == 2 and p.num_experts == 2
+
+    def test_worker_of(self):
+        p = Placement(np.array([[0, 1], [2, 0]]))
+        assert p.worker_of(1, 0) == 2
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            Placement(np.array([[0, -1]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Placement(np.array([0, 1]))
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            Placement(np.array([[0, 0], [0, 0]]), capacities=[3, 1])
+
+    def test_worker_loads(self):
+        p = Placement(np.array([[0, 1], [1, 1]]))
+        np.testing.assert_array_equal(p.worker_loads(3), [1, 3, 0])
+
+    def test_experts_on_worker(self):
+        p = Placement(np.array([[0, 1], [1, 0]]))
+        assert p.experts_on_worker(1) == [(0, 1), (1, 0)]
+
+    def test_binary_tensor_valid(self):
+        p = Placement(np.array([[0, 1], [2, 0]]))
+        x = p.to_binary_tensor(3)
+        assert x.shape == (3, 2, 2)
+        np.testing.assert_array_equal(x.sum(axis=0), np.ones((2, 2)))
+        assert x[2, 1, 0] == 1.0
+
+    def test_tokens_per_worker(self):
+        p = Placement(np.array([[0, 1, 0]]))
+        counts = np.array([[5, 7, 3]])
+        tokens = p.tokens_per_worker(counts, 2)
+        np.testing.assert_array_equal(tokens, [[8], [7]])
+
+    def test_equality(self):
+        a = Placement(np.array([[0, 1]]))
+        b = Placement(np.array([[0, 1]]))
+        c = Placement(np.array([[1, 0]]))
+        assert a == b and a != c
+
+
+class TestPlacementProblem:
+    def test_valid(self, small_problem):
+        assert small_problem.num_workers == 4
+
+    def test_default_capacities_unconstrained(self, small_problem):
+        caps = small_problem.effective_capacities()
+        assert all(c == small_problem.config.total_experts for c in caps)
+
+    def test_probability_shape_checked(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             probability_matrix=np.ones((1, 1)))
+
+    def test_negative_probability_rejected(self, nano_config, small_topology):
+        p = np.full((nano_config.num_layers, nano_config.num_experts), -0.1)
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             probability_matrix=p)
+
+    def test_insufficient_capacity_rejected(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             capacities=[1, 1, 1, 1])
+
+    def test_capacity_length_checked(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             capacities=[100, 100])
+
+    def test_tokens_validated(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             tokens_per_step=0)

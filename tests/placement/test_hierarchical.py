@@ -1,0 +1,92 @@
+"""Tests for two-level hierarchical placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology, paper_cluster
+from repro.models import deepseek_moe_sim, nano_moe, switch_xxl_sim
+from repro.placement import (HierarchicalPlacement, LocalityAwarePlacement,
+                             PlacementProblem, SequentialPlacement,
+                             expected_step_comm_time)
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+
+
+@pytest.fixture
+def problem(nano_config, small_topology, small_probability):
+    return PlacementProblem(config=nano_config, topology=small_topology,
+                            probability_matrix=small_probability,
+                            tokens_per_step=256,
+                            capacities=[2, 2, 2, 2])
+
+
+class TestHierarchical:
+    def test_feasible(self, problem):
+        placement = HierarchicalPlacement().place(problem)
+        loads = placement.worker_loads(4)
+        assert loads.sum() == problem.config.total_experts
+        assert np.all(loads <= problem.effective_capacities())
+
+    def test_requires_profile(self, nano_config, small_topology):
+        bare = PlacementProblem(config=nano_config, topology=small_topology)
+        with pytest.raises(ValueError):
+            HierarchicalPlacement().place(bare)
+
+    def test_competitive_with_flat_lp(self, problem):
+        """Decomposition must stay within 2x of the flat LP objective."""
+        flat = expected_step_comm_time(
+            LocalityAwarePlacement().place(problem), problem)
+        hier = expected_step_comm_time(
+            HierarchicalPlacement().place(problem), problem)
+        assert hier <= 2.0 * flat + 1e-12
+
+    def test_beats_oblivious(self, problem):
+        hier = expected_step_comm_time(
+            HierarchicalPlacement().place(problem), problem)
+        seq = expected_step_comm_time(
+            SequentialPlacement().place(problem), problem)
+        assert hier <= seq + 1e-12
+
+    def test_scales_to_many_experts(self):
+        """Flat LP for switch-xxl has 6*24*64 = 9216 assignment variables;
+        the hierarchy solves node-level (3*24*64) + tiny per-node splits."""
+        config = switch_xxl_sim()
+        topology = paper_cluster()
+        router = SyntheticRouter(config, WIKITEXT_REGIME, seed=2)
+        problem = PlacementProblem(
+            config=config, topology=topology,
+            probability_matrix=router.probability_matrix(4096),
+            tokens_per_step=1024)
+        placement = HierarchicalPlacement().place(problem)
+        assert placement.worker_loads(6).sum() == config.total_experts
+
+    def test_single_node_degenerates_gracefully(self, nano_config,
+                                                small_probability):
+        topology = ClusterTopology(1, 4)
+        problem = PlacementProblem(config=nano_config, topology=topology,
+                                   probability_matrix=small_probability,
+                                   tokens_per_step=256)
+        placement = HierarchicalPlacement().place(problem)
+        assert placement.worker_loads(4).sum() == nano_config.total_experts
+
+
+class TestArchitecturePresets:
+    def test_switch_spec(self):
+        config = switch_xxl_sim()
+        assert config.top_k == 1
+        assert config.num_experts == 64
+        assert not config.is_buildable()
+
+    def test_deepseek_spec(self):
+        config = deepseek_moe_sim()
+        assert config.top_k == 6
+        # fine-grained experts are far smaller than Mixtral's
+        from repro.models import mixtral_8x7b_sim
+        assert config.expert_num_params() < \
+            mixtral_8x7b_sim().expert_num_params() / 10
+
+    def test_traces_generate_for_both(self):
+        for config in (switch_xxl_sim(), deepseek_moe_sim()):
+            router = SyntheticRouter(config, WIKITEXT_REGIME, seed=0)
+            trace = router.generate_trace(2, 256)
+            assert trace.num_experts == config.num_experts
+            assert np.all(trace.counts.sum(axis=2) == 256 * config.top_k)

@@ -1,0 +1,127 @@
+"""Property-based tests of the placement machinery (hypothesis).
+
+These stress the invariants that must hold for *any* input, not just the
+benchmark configurations: the rounding procedure always yields a feasible
+placement, objectives respect their orderings, and the binary-tensor views
+stay consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterTopology
+from repro.models import MoEModelConfig
+from repro.placement import (LocalityAwarePlacement, Placement,
+                             PlacementProblem, SequentialPlacement,
+                             expected_step_comm_time,
+                             round_relaxed_assignment)
+
+
+def random_relaxed(rng, workers, layers, experts):
+    """A random fractional assignment: columns sum to 1 over workers."""
+    raw = rng.dirichlet(np.ones(workers), size=(layers, experts))
+    return np.transpose(raw, (2, 0, 1))  # (workers, layers, experts)
+
+
+def random_capacities(rng, workers, total):
+    """Random capacities that are guaranteed feasible (sum >= total)."""
+    base = total // workers
+    caps = np.full(workers, base, dtype=int)
+    remainder = total - caps.sum()
+    for _ in range(remainder):
+        caps[rng.integers(workers)] += 1
+    # random extra slack
+    caps += rng.integers(0, 3, size=workers)
+    return caps.tolist()
+
+
+class TestRoundingProperties:
+    @given(st.integers(2, 6), st.integers(1, 4), st.integers(2, 6),
+           st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_rounding_always_feasible(self, workers, layers, experts, seed):
+        """Any relaxed tensor + feasible capacities -> valid placement."""
+        rng = np.random.default_rng(seed)
+        relaxed = random_relaxed(rng, workers, layers, experts)
+        caps = random_capacities(rng, workers, layers * experts)
+        placement = round_relaxed_assignment(relaxed, caps)
+        loads = placement.worker_loads(workers)
+        assert loads.sum() == layers * experts
+        assert np.all(loads <= caps)
+        assert np.all(placement.assignment >= 0)
+        assert np.all(placement.assignment < workers)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_rounding_preserves_integral_solutions(self, seed):
+        """An already-binary relaxed tensor rounds to itself when feasible."""
+        rng = np.random.default_rng(seed)
+        workers, layers, experts = 3, 2, 4
+        assignment = rng.integers(0, workers, size=(layers, experts))
+        relaxed = np.zeros((workers, layers, experts))
+        for l in range(layers):
+            for e in range(experts):
+                relaxed[assignment[l, e], l, e] = 1.0
+        placement = round_relaxed_assignment(
+            relaxed, capacities=[layers * experts] * workers)
+        np.testing.assert_array_equal(placement.assignment, assignment)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_binary_tensor_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, 4, size=(3, 5))
+        placement = Placement(assignment)
+        tensor = placement.to_binary_tensor(4)
+        recovered = tensor.argmax(axis=0)
+        np.testing.assert_array_equal(recovered, assignment)
+
+
+class TestObjectiveProperties:
+    def _problem(self, seed, workers=4):
+        rng = np.random.default_rng(seed)
+        config = MoEModelConfig(name="prop", vocab_size=32, hidden_size=8,
+                                num_layers=3, num_experts=4, top_k=2,
+                                num_heads=2, ffn_hidden_size=16)
+        topology = ClusterTopology(2, 2)
+        p = rng.dirichlet(np.ones(4), size=3) * 2
+        return PlacementProblem(config=config, topology=topology,
+                                probability_matrix=p, tokens_per_step=256)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_vela_never_worse_than_sequential(self, seed):
+        problem = self._problem(seed)
+        vela = expected_step_comm_time(
+            LocalityAwarePlacement().place(problem), problem)
+        seq = expected_step_comm_time(
+            SequentialPlacement().place(problem), problem)
+        assert vela <= seq + 1e-12
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_lp_bound_below_any_feasible_placement(self, seed):
+        """The relaxed LP optimum lower-bounds every binary placement."""
+        problem = self._problem(seed)
+        solution = LocalityAwarePlacement().solve(problem)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(3):
+            assignment = rng.integers(0, 4, size=(3, 4))
+            objective = expected_step_comm_time(Placement(assignment),
+                                                problem)
+            assert solution.lp_objective <= objective + 1e-9
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_objective_scales_linearly_with_tokens(self, seed):
+        problem = self._problem(seed)
+        placement = SequentialPlacement().place(problem)
+        base = expected_step_comm_time(placement, problem)
+        doubled_problem = PlacementProblem(
+            config=problem.config, topology=problem.topology,
+            probability_matrix=problem.probability_matrix,
+            tokens_per_step=problem.tokens_per_step * 2)
+        doubled = expected_step_comm_time(placement, doubled_problem)
+        assert doubled == pytest.approx(2 * base, rel=1e-9)

@@ -1,0 +1,125 @@
+"""Tests for the expert-replication extension."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (LocalityAwarePlacement, Placement,
+                             PlacementProblem, ReplicatedPlacement,
+                             ReplicationStrategy, expected_step_comm_time,
+                             expected_step_comm_time_replicated)
+
+
+@pytest.fixture
+def primary(nano_config):
+    # 2 layers x 4 experts over 4 workers, striped.
+    return Placement(np.array([[0, 1, 2, 3], [0, 1, 2, 3]]), name="seq")
+
+
+@pytest.fixture
+def bandwidths(small_topology):
+    return small_topology.master_bandwidths()
+
+
+class TestReplicatedPlacement:
+    def test_no_replicas_equals_primary(self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {}, bandwidths)
+        assert rp.num_replicas == 0
+        assert rp.holders(0, 1) == [1]
+
+    def test_primary_deduplicated_from_replicas(self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {(0, 1): [1, 3]}, bandwidths)
+        assert rp.holders(0, 1) == [1, 3]
+        assert rp.num_replicas == 1
+
+    def test_fractions_sum_to_one(self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {(0, 0): [2, 3]}, bandwidths)
+        fractions = rp.fractions(0, 0)
+        assert fractions.shape == (3,)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_fractions_prefer_fast_links(self, primary, bandwidths):
+        # worker 0 is the master's loopback (fastest), worker 3 cross-node
+        rp = ReplicatedPlacement(primary, {(0, 3): [0]}, bandwidths)
+        holders = rp.holders(0, 3)
+        fractions = rp.fractions(0, 3)
+        frac = dict(zip(holders, fractions))
+        assert frac[0] > frac[3]
+
+    def test_tokens_conserved_under_split(self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {(0, 0): [1]}, bandwidths)
+        counts = np.array([[40, 30, 20, 10], [10, 20, 30, 40]])
+        tokens = rp.tokens_per_worker(counts, 4)
+        np.testing.assert_allclose(tokens.sum(axis=0),
+                                   counts.sum(axis=1), atol=1e-9)
+
+    def test_worker_loads_include_replicas(self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {(0, 0): [1], (1, 2): [3]},
+                                 bandwidths)
+        loads = rp.worker_loads(4)
+        np.testing.assert_array_equal(loads, [2, 3, 2, 3])
+
+    def test_replica_sync_bytes(self, primary, bandwidths, nano_config):
+        rp = ReplicatedPlacement(primary, {(0, 0): [1]}, bandwidths)
+        expected = 3 * (nano_config.hidden_size +
+                        nano_config.ffn_hidden_size) * 8 * 4.0
+        assert rp.replica_sync_bytes(nano_config) == pytest.approx(expected)
+
+
+class TestObjective:
+    def test_matches_unreplicated_objective(self, small_problem):
+        placement = LocalityAwarePlacement().place(small_problem)
+        rp = ReplicatedPlacement(placement, {},
+                                 small_problem.topology.master_bandwidths())
+        assert expected_step_comm_time_replicated(rp, small_problem) == \
+            pytest.approx(expected_step_comm_time(placement, small_problem))
+
+    def test_replicating_bottleneck_expert_helps(self, nano_config,
+                                                 small_topology):
+        """Splitting a hot cross-node expert onto a fast worker must reduce
+        the Eq. (7) objective."""
+        p = np.full((nano_config.num_layers, nano_config.num_experts), 0.1)
+        p[:, 3] = 2.0 - 0.1 * (nano_config.num_experts - 1)
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=p, tokens_per_step=1000)
+        primary = Placement(np.array([[0, 1, 2, 3], [0, 1, 2, 3]]))
+        bandwidths = small_topology.master_bandwidths()
+        base = expected_step_comm_time_replicated(
+            ReplicatedPlacement(primary, {}, bandwidths), problem)
+        split = expected_step_comm_time_replicated(
+            ReplicatedPlacement(primary, {(0, 3): [0], (1, 3): [0]},
+                                bandwidths), problem)
+        assert split < base
+
+
+class TestReplicationStrategy:
+    def test_respects_capacity(self, nano_config, small_topology,
+                               small_probability):
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   tokens_per_step=512,
+                                   capacities=[3, 3, 3, 3])
+        report = ReplicationStrategy(max_replicas=10).solve(problem)
+        loads = report.placement.worker_loads(4)
+        assert np.all(loads <= [3, 3, 3, 3])
+
+    def test_never_worse_than_base(self, small_problem):
+        report = ReplicationStrategy(max_replicas=8).solve(small_problem)
+        assert report.replicated_objective <= report.base_objective + 1e-12
+        assert report.improvement >= -1e-12
+
+    def test_zero_budget_adds_nothing(self, small_problem):
+        report = ReplicationStrategy(max_replicas=0).solve(small_problem)
+        assert report.replicas_added == 0
+
+    def test_no_spare_capacity_adds_nothing(self, nano_config, small_topology,
+                                            small_probability):
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   tokens_per_step=512,
+                                   capacities=[2, 2, 2, 2])  # exact fit
+        report = ReplicationStrategy(max_replicas=10).solve(problem)
+        assert report.replicas_added == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationStrategy(max_replicas=-1)

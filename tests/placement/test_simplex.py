@@ -1,0 +1,112 @@
+"""Tests for the from-scratch two-phase simplex solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement import (LocalityAwarePlacement, SimplexError,
+                             build_placement_lp, simplex_solve,
+                             solve_lp_simplex)
+
+
+class TestKnownProblems:
+    def test_simple_maximization(self):
+        """max x+y s.t. x<=2, y<=3  ->  min -(x+y) = -5."""
+        x, obj = simplex_solve(np.array([-1.0, -1.0]),
+                               a_ub=np.array([[1.0, 0.0], [0.0, 1.0]]),
+                               b_ub=np.array([2.0, 3.0]))
+        np.testing.assert_allclose(x, [2.0, 3.0], atol=1e-9)
+        assert obj == pytest.approx(-5.0)
+
+    def test_classic_lp(self):
+        """min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (opt: x=2,y=6)."""
+        c = np.array([-3.0, -5.0])
+        a = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]])
+        b = np.array([4.0, 12.0, 18.0])
+        x, obj = simplex_solve(c, a_ub=a, b_ub=b)
+        np.testing.assert_allclose(x, [2.0, 6.0], atol=1e-9)
+        assert obj == pytest.approx(-36.0)
+
+    def test_equality_constraints(self):
+        """min x + 2y s.t. x + y = 1, x,y >= 0  ->  x=1, y=0."""
+        x, obj = simplex_solve(np.array([1.0, 2.0]),
+                               a_eq=np.array([[1.0, 1.0]]),
+                               b_eq=np.array([1.0]))
+        np.testing.assert_allclose(x, [1.0, 0.0], atol=1e-9)
+
+    def test_mixed_constraints(self):
+        """min -x s.t. x + y = 2, x <= 1.5."""
+        x, obj = simplex_solve(np.array([-1.0, 0.0]),
+                               a_ub=np.array([[1.0, 0.0]]),
+                               b_ub=np.array([1.5]),
+                               a_eq=np.array([[1.0, 1.0]]),
+                               b_eq=np.array([2.0]))
+        np.testing.assert_allclose(x, [1.5, 0.5], atol=1e-9)
+
+    def test_negative_rhs_normalized(self):
+        """min x s.t. -x <= -1 (i.e. x >= 1)."""
+        x, obj = simplex_solve(np.array([1.0]),
+                               a_ub=np.array([[-1.0]]),
+                               b_ub=np.array([-1.0]))
+        assert obj == pytest.approx(1.0)
+
+    def test_infeasible_detected(self):
+        with pytest.raises(SimplexError, match="infeasible"):
+            simplex_solve(np.array([1.0]),
+                          a_ub=np.array([[1.0]]), b_ub=np.array([1.0]),
+                          a_eq=np.array([[1.0]]), b_eq=np.array([5.0]))
+
+    def test_unbounded_detected(self):
+        with pytest.raises(SimplexError, match="unbounded"):
+            simplex_solve(np.array([-1.0]))
+
+    def test_degenerate_does_not_cycle(self):
+        # A classically degenerate instance (multiple zero ratios).
+        c = np.array([-0.75, 150.0, -0.02, 6.0])
+        a = np.array([[0.25, -60.0, -0.04, 9.0],
+                      [0.5, -90.0, -0.02, 3.0],
+                      [0.0, 0.0, 1.0, 0.0]])
+        b = np.array([0.0, 0.0, 1.0])
+        x, obj = simplex_solve(c, a_ub=a, b_ub=b)
+        assert obj == pytest.approx(-0.05, abs=1e-9)
+
+
+class TestAgainstScipy:
+    @given(st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy_on_random_feasible_lps(self, seed):
+        """Random bounded-feasible LPs: our optimum == HiGHS optimum."""
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m = rng.integers(2, 6), rng.integers(1, 5)
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.uniform(1.0, 5.0, size=m)
+        # Bound the feasible region so the LP cannot be unbounded.
+        a_full = np.vstack([a, np.eye(n)])
+        b_full = np.concatenate([b, np.full(n, 10.0)])
+        ours_x, ours_obj = simplex_solve(c, a_ub=a_full, b_ub=b_full)
+        ref = linprog(c, A_ub=a_full, b_ub=b_full, bounds=[(0, None)] * n,
+                      method="highs")
+        assert ref.success
+        assert ours_obj == pytest.approx(ref.fun, abs=1e-7)
+        # our solution must satisfy all constraints
+        assert np.all(a_full @ ours_x <= b_full + 1e-8)
+        assert np.all(ours_x >= -1e-9)
+
+
+class TestOnPlacementLP:
+    def test_simplex_matches_scipy_on_placement(self, small_problem):
+        lp = build_placement_lp(small_problem)
+        from repro.placement import solve_lp_scipy
+        scipy_x = solve_lp_scipy(lp)
+        simplex_x = solve_lp_simplex(lp)
+        assert lp.objective_value(simplex_x) == \
+            pytest.approx(lp.objective_value(scipy_x), rel=1e-6)
+
+    def test_vela_with_simplex_backend(self, small_problem):
+        placement = LocalityAwarePlacement(solver="simplex").place(small_problem)
+        assert placement.worker_loads(4).sum() == \
+            small_problem.config.total_experts

@@ -1,0 +1,111 @@
+"""Tests for sequential / random / expert-parallel / greedy strategies."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (ExpertParallelPlacement, GreedyPlacement,
+                             PlacementProblem, RandomPlacement,
+                             SequentialPlacement, expected_step_comm_time)
+
+
+class TestSequential:
+    def test_stripes_by_expert_index(self, small_problem):
+        placement = SequentialPlacement().place(small_problem)
+        experts = small_problem.config.num_experts
+        workers = small_problem.num_workers
+        for e in range(experts):
+            assert placement.worker_of(0, e) == e % workers
+
+    def test_same_pattern_every_layer(self, small_problem):
+        placement = SequentialPlacement().place(small_problem)
+        for layer in range(1, placement.num_layers):
+            np.testing.assert_array_equal(placement.assignment[layer],
+                                          placement.assignment[0])
+
+    def test_respects_tight_capacity(self, nano_config, small_topology,
+                                     small_probability):
+        # nano: 2 layers x 4 experts = 8 experts; worker 0 capacity 0
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   capacities=[0, 3, 3, 3])
+        placement = SequentialPlacement().place(problem)
+        loads = placement.worker_loads(4)
+        assert loads[0] == 0
+        assert np.all(loads <= [0, 3, 3, 3])
+
+    def test_impossible_capacity_raises(self, nano_config, small_topology):
+        with pytest.raises(ValueError):
+            PlacementProblem(config=nano_config, topology=small_topology,
+                             capacities=[1, 1, 1, 1])
+
+
+class TestRandom:
+    def test_every_expert_assigned(self, small_problem):
+        placement = RandomPlacement(seed=1).place(small_problem)
+        assert placement.worker_loads(4).sum() == \
+            small_problem.config.total_experts
+
+    def test_deterministic_per_seed(self, small_problem):
+        p1 = RandomPlacement(seed=5).place(small_problem)
+        p2 = RandomPlacement(seed=5).place(small_problem)
+        assert p1 == p2
+
+    def test_seeds_differ(self, small_problem):
+        p1 = RandomPlacement(seed=1).place(small_problem)
+        p2 = RandomPlacement(seed=2).place(small_problem)
+        assert p1 != p2
+
+    def test_respects_capacities(self, nano_config, small_topology,
+                                 small_probability):
+        caps = [2, 2, 2, 2]
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   capacities=caps)
+        placement = RandomPlacement(seed=3).place(problem)
+        assert np.all(placement.worker_loads(4) <= caps)
+
+    def test_roughly_balanced_with_equal_caps(self, small_problem):
+        placement = RandomPlacement(seed=0).place(small_problem)
+        loads = placement.worker_loads(4)
+        assert loads.max() - loads.min() <= 1
+
+
+class TestExpertParallel:
+    def test_same_map_as_sequential(self, small_problem):
+        ep = ExpertParallelPlacement().place(small_problem)
+        seq = SequentialPlacement().place(small_problem)
+        np.testing.assert_array_equal(ep.assignment, seq.assignment)
+
+    def test_tagged_name(self, small_problem):
+        assert ExpertParallelPlacement().place(small_problem).name == \
+            "expert_parallel"
+
+
+class TestGreedy:
+    def test_feasible(self, small_problem):
+        placement = GreedyPlacement().place(small_problem)
+        assert placement.worker_loads(4).sum() == \
+            small_problem.config.total_experts
+
+    def test_beats_sequential_on_skewed_profile(self, nano_config,
+                                                small_topology):
+        """With locality info, greedy must not be worse than oblivious."""
+        p = np.zeros((nano_config.num_layers, nano_config.num_experts))
+        p[:, 0] = 1.6  # expert 0 extremely popular
+        p[:, 1:] = 0.4 / (nano_config.num_experts - 1)
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=p, tokens_per_step=1000)
+        greedy_time = expected_step_comm_time(
+            GreedyPlacement().place(problem), problem)
+        seq_time = expected_step_comm_time(
+            SequentialPlacement().place(problem), problem)
+        assert greedy_time <= seq_time + 1e-12
+
+    def test_respects_capacity(self, nano_config, small_topology,
+                               small_probability):
+        caps = [2, 2, 2, 2]
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   capacities=caps)
+        placement = GreedyPlacement().place(problem)
+        assert np.all(placement.worker_loads(4) <= caps)

@@ -1,0 +1,115 @@
+"""Tests for trace analytics: drift detection, hot sets, traffic prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import phase_switch_trace
+from repro.models import nano_moe
+from repro.placement import PlacementProblem, SequentialPlacement
+from repro.routing import (CusumDriftDetector, SyntheticRouter,
+                           UNIFORM_REGIME, WIKITEXT_REGIME, calibrate_slack,
+                           hot_set, hot_set_jaccard,
+                           predicted_cross_node_bytes,
+                           windowed_hot_set_stability)
+from repro.runtime import MasterWorkerEngine
+
+
+@pytest.fixture
+def router(nano_config):
+    return SyntheticRouter(nano_config, WIKITEXT_REGIME, seed=5)
+
+
+class TestCusum:
+    def test_stationary_trace_no_detection(self, nano_config, router):
+        trace = router.generate_trace(40, 512)
+        reference = router.probability_matrix(4096)
+        slack = calibrate_slack(trace.slice_steps(0, 10), reference) * 1.2
+        detector = CusumDriftDetector(threshold=0.5, slack=slack)
+        assert not detector.scan(trace, reference).detected
+
+    def test_phase_switch_detected_shortly_after(self, nano_config):
+        trace = phase_switch_trace(nano_config,
+                                   [WIKITEXT_REGIME, UNIFORM_REGIME],
+                                   tokens_per_step=512, steps_per_phase=20,
+                                   seed=2)
+        router = SyntheticRouter(nano_config, WIKITEXT_REGIME, seed=2)
+        reference = router.probability_matrix(4096)
+        slack = calibrate_slack(trace.slice_steps(0, 20), reference) * 1.2
+        detection = CusumDriftDetector(threshold=0.3, slack=slack).scan(
+            trace, reference)
+        assert detection.detected
+        assert 20 <= detection.change_step <= 30
+
+    def test_statistic_resets_below_slack(self, nano_config, router):
+        trace = router.generate_trace(10, 512)
+        reference = router.probability_matrix(4096)
+        detector = CusumDriftDetector(threshold=10.0, slack=1.0)  # huge slack
+        detection = detector.scan(trace, reference)
+        assert np.all(detection.statistic == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CusumDriftDetector(threshold=0)
+        with pytest.raises(ValueError):
+            CusumDriftDetector(slack=-1)
+
+
+class TestHotSets:
+    def test_hot_set_shape(self, small_probability):
+        sets = hot_set(small_probability, top=2)
+        assert len(sets) == small_probability.shape[0]
+        assert all(len(s) == 2 for s in sets)
+
+    def test_jaccard_identity(self, small_probability):
+        assert hot_set_jaccard(small_probability, small_probability) == 1.0
+
+    def test_jaccard_disjoint(self):
+        a = np.array([[1.0, 1.0, 0.0, 0.0]])
+        b = np.array([[0.0, 0.0, 1.0, 1.0]])
+        assert hot_set_jaccard(a, b, top=2) == 0.0
+
+    def test_windowed_stability_near_one_for_stationary(self, router):
+        trace = router.generate_trace(40, 512)
+        scores = windowed_hot_set_stability(trace, window=10, top=2)
+        assert scores[0] == 1.0
+        assert scores.mean() > 0.7
+
+    def test_windowed_stability_drops_after_switch(self, nano_config):
+        trace = phase_switch_trace(nano_config,
+                                   [WIKITEXT_REGIME, UNIFORM_REGIME],
+                                   tokens_per_step=512, steps_per_phase=20,
+                                   seed=4)
+        scores = windowed_hot_set_stability(trace, window=10, top=2)
+        assert scores[-1] < scores[0]
+
+    def test_window_validation(self, router):
+        trace = router.generate_trace(5, 64)
+        with pytest.raises(ValueError):
+            windowed_hot_set_stability(trace, window=6)
+
+
+class TestTrafficPrediction:
+    def test_prediction_matches_simulation(self, nano_config, small_topology,
+                                           router):
+        """The closed form must agree with the engine in expectation."""
+        profile = router.probability_matrix(16384)
+        problem = PlacementProblem(config=nano_config, topology=small_topology,
+                                   probability_matrix=profile,
+                                   tokens_per_step=512)
+        placement = SequentialPlacement().place(problem)
+        predicted = predicted_cross_node_bytes(placement, profile,
+                                               nano_config, small_topology,
+                                               tokens_per_step=512)
+        trace = router.generate_trace(30, 512)
+        engine = MasterWorkerEngine(nano_config, small_topology, placement,
+                                    512, seq_len=32)
+        measured = engine.run_trace(trace).total_cross_node_bytes() / 30
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_all_local_predicts_zero(self, nano_config, small_topology,
+                                     small_probability):
+        from repro.placement import Placement
+        placement = Placement(np.zeros((2, 4), dtype=int))
+        assert predicted_cross_node_bytes(placement, small_probability,
+                                          nano_config, small_topology,
+                                          512) == 0.0

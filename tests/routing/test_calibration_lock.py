@@ -1,0 +1,46 @@
+"""Calibration locks: the constants EXPERIMENTS.md discloses must not drift
+silently.
+
+The reproduction's paper-band results depend on three calibrated constants
+(regimes, master memory reserve, EP sync overhead).  Changing any of them is
+legitimate — but must be a conscious act that also updates EXPERIMENTS.md,
+which this test forces by failing loudly.
+"""
+
+import pytest
+
+from repro.cluster import ExpertMemoryModel
+from repro.routing import ALPACA_REGIME, WIKITEXT_REGIME
+
+
+class TestCalibratedConstants:
+    def test_wikitext_regime(self):
+        assert WIKITEXT_REGIME.dirichlet_alpha == pytest.approx(2.8)
+        assert WIKITEXT_REGIME.gate_temperature == pytest.approx(0.7)
+        assert WIKITEXT_REGIME.sharpening_rate == pytest.approx(0.08)
+
+    def test_alpaca_regime(self):
+        assert ALPACA_REGIME.dirichlet_alpha == pytest.approx(3.0)
+        assert ALPACA_REGIME.gate_temperature == pytest.approx(0.9)
+
+    def test_memory_model_reserves(self):
+        model = ExpertMemoryModel()
+        assert model.master_extra_reserve_bytes == 20 * 1024 ** 3
+        assert model.reserve_bytes == 2 * 1024 ** 3
+        assert model.activation_tokens == 3072
+
+    def test_ep_sync_overhead(self):
+        import inspect
+
+        from repro.runtime import ExpertParallelEngine
+        signature = inspect.signature(ExpertParallelEngine.__init__)
+        default = signature.parameters["sync_software_overhead_s"].default
+        assert default == pytest.approx(0.008)
+
+    def test_paper_capacities_derived(self):
+        """The disclosed C_n = [16, 48 x5] for Mixtral on the paper cluster."""
+        from repro.cluster import paper_cluster
+        from repro.models import mixtral_8x7b_sim
+        caps = ExpertMemoryModel().capacities(paper_cluster(),
+                                              mixtral_8x7b_sim())
+        assert caps == [16, 48, 48, 48, 48, 48]

@@ -1,0 +1,66 @@
+"""Tests for the locality profiler on a live model."""
+
+import numpy as np
+import pytest
+
+from repro.data import LMDataLoader
+from repro.routing import LocalityProfiler
+
+
+@pytest.fixture
+def loader(nano_config, rng):
+    tokens = rng.integers(0, nano_config.vocab_size, size=400)
+    return LMDataLoader(tokens, batch_size=2, seq_len=16, seed=0)
+
+
+class TestProfiler:
+    def test_probability_matrix_shape_and_sum(self, nano_model, nano_config, loader):
+        profile = LocalityProfiler(nano_model).profile(iter(loader))
+        assert profile.probability_matrix.shape == (
+            nano_config.num_layers, nano_config.num_experts)
+        np.testing.assert_allclose(profile.probability_matrix.sum(axis=1),
+                                   nano_config.top_k, atol=1e-9)
+
+    def test_counts_tokens(self, nano_model, loader):
+        profile = LocalityProfiler(nano_model).profile(iter(loader),
+                                                       max_batches=3)
+        assert profile.tokens_profiled == 3 * 2 * 16
+
+    def test_selected_scores_in_valid_range(self, nano_model, nano_config, loader):
+        profile = LocalityProfiler(nano_model).profile(iter(loader),
+                                                       max_batches=2)
+        k, e = nano_config.top_k, nano_config.num_experts
+        assert np.all(profile.selected_scores <= 1.0 + 1e-9)
+        assert np.all(profile.selected_scores >= k / e - 1e-9)
+
+    def test_score_cdf_monotone(self, nano_model, loader):
+        profile = LocalityProfiler(nano_model).profile(iter(loader),
+                                                       max_batches=2)
+        scores, cdf = profile.score_cdf()
+        assert np.all(np.diff(scores) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_fraction_above(self, nano_model, loader):
+        profile = LocalityProfiler(nano_model).profile(iter(loader),
+                                                       max_batches=2)
+        assert profile.fraction_above(0.0) == 1.0
+        assert profile.fraction_above(1.1) == 0.0
+
+    def test_monitored_layer_validation(self, nano_model):
+        with pytest.raises(ValueError):
+            LocalityProfiler(nano_model, monitored_layer=99)
+
+    def test_no_batches_raises(self, nano_model):
+        with pytest.raises(ValueError):
+            LocalityProfiler(nano_model).profile(iter([]))
+
+    def test_restores_training_mode(self, nano_model, loader):
+        nano_model.train()
+        LocalityProfiler(nano_model).profile(iter(loader), max_batches=1)
+        assert nano_model.training
+
+    def test_profiling_does_not_change_weights(self, nano_model, loader):
+        before = {n: p.data.copy() for n, p in nano_model.named_parameters()}
+        LocalityProfiler(nano_model).profile(iter(loader), max_batches=2)
+        for name, p in nano_model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])

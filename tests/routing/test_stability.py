@@ -1,0 +1,135 @@
+"""Tests for the Theorem 1 stability analysis.
+
+The softmax-sensitivity property tests are the mathematical heart: for any
+logits and any small perturbation, the per-expert score change is bounded by
+``|Δy|_inf * E * P(1-P)`` up to second order — exactly the inequality chain
+in the paper's proof.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (StabilityMonitor, effective_lipschitz,
+                           softmax_sensitivity_bound, theorem1_bound,
+                           uncertainty_term, verify_softmax_bound)
+from repro.routing.stability import softmax
+
+
+class TestBoundFunctions:
+    def test_uncertainty_term_peaks_at_half(self):
+        p = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        u = uncertainty_term(p)
+        assert u.argmax() == 2
+        assert u[0] == u[4] == 0.0
+
+    def test_theorem1_bound_formula(self):
+        p = np.array([0.3])
+        bound = theorem1_bound(p, lr=0.1, lipschitz=2.0, num_experts=5)
+        np.testing.assert_allclose(bound, 0.1 * 5 * 4.0 * 0.3 * 0.7)
+
+    def test_theorem1_bound_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(np.array([0.5]), lr=0, lipschitz=1)
+
+    def test_confident_gate_has_small_bound(self):
+        """The paper's Claim 1: P near 0 or 1 -> tiny bound -> stable choice."""
+        confident = theorem1_bound(np.array([0.99]), 1e-3, 1.0, 8)
+        uncertain = theorem1_bound(np.array([0.5]), 1e-3, 1.0, 8)
+        assert confident < uncertain / 20
+
+    def test_sensitivity_bound_scales_with_delta(self):
+        p = np.array([0.4])
+        b1 = softmax_sensitivity_bound(p, 0.1)
+        b2 = softmax_sensitivity_bound(p, 0.2)
+        np.testing.assert_allclose(b2, 2 * b1)
+
+    def test_effective_lipschitz_inverts_drift(self):
+        assert effective_lipschitz(0.04, lr=0.01) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            effective_lipschitz(0.1, lr=0)
+
+
+class TestSoftmaxSensitivityProperty:
+    @given(st.integers(2, 10), st.floats(0.001, 0.05),
+           st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_holds_for_small_perturbations(self, experts, scale, seed):
+        """Property: ΔP <= Δy_inf * E * P(1-P) + O(Δy^2) for any logits."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=experts) * 3
+        delta = rng.normal(size=experts) * scale
+        assert verify_softmax_bound(logits, logits + delta)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_holds_for_sgd_step_on_gate(self, seed):
+        """End-to-end: one real SGD step on a tiny gate obeys the bound."""
+        from repro.models import TopKGate
+        from repro.nn import SGD, Tensor
+
+        rng = np.random.default_rng(seed)
+        gate = TopKGate(6, 4, 2, rng=rng)
+        x = rng.normal(size=(5, 6))
+        logits_before = gate.router(Tensor(x)).data.copy()
+        out = gate(Tensor(x))
+        # any smooth scalar loss of the probs
+        loss = (out.probs * out.probs).sum()
+        loss.backward()
+        SGD(gate.trainable_parameters(), lr=1e-3).step()
+        logits_after = gate.router(Tensor(x)).data
+        for t in range(5):
+            assert verify_softmax_bound(logits_before[t], logits_after[t])
+
+    def test_exact_equality_case(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        assert verify_softmax_bound(logits, logits)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            verify_softmax_bound(np.zeros(3), np.zeros(4))
+
+
+class TestStabilityMonitor:
+    def make_monitor_with_drift(self, drift_scale, steps=20, experts=4, seed=0):
+        rng = np.random.default_rng(seed)
+        monitor = StabilityMonitor(lr=1e-3)
+        logits = rng.normal(size=experts)
+        for _ in range(steps):
+            probs = softmax(logits)[None, :]
+            counts = np.round(probs[0] * 100).astype(int)
+            monitor.observe(probs, counts, max(counts.sum(), 1))
+            logits = logits + rng.normal(size=experts) * drift_scale
+        return monitor
+
+    def test_small_drift_no_violations(self):
+        monitor = self.make_monitor_with_drift(0.01)
+        report = monitor.report()
+        assert report.violations == 0
+
+    def test_report_shapes(self):
+        report = self.make_monitor_with_drift(0.01, steps=10).report()
+        assert report.num_steps == 9
+        assert report.access_frequency.shape[0] == 10
+
+    def test_needs_two_steps(self):
+        monitor = StabilityMonitor(lr=1e-3)
+        monitor.observe(np.array([[0.5, 0.5]]), np.array([1, 1]), 2)
+        with pytest.raises(ValueError):
+            monitor.report()
+
+    def test_max_frequency_change(self):
+        monitor = StabilityMonitor(lr=1e-3)
+        monitor.observe(np.array([[0.6, 0.4]]), np.array([6, 4]), 10)
+        monitor.observe(np.array([[0.6, 0.4]]), np.array([8, 2]), 10)
+        report = monitor.report()
+        np.testing.assert_allclose(report.max_frequency_change(), 0.2)
+
+    def test_effective_lipschitz_positive(self):
+        monitor = self.make_monitor_with_drift(0.02)
+        assert monitor.effective_lipschitz() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StabilityMonitor(lr=0)

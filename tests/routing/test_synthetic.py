@@ -1,0 +1,107 @@
+"""Tests for the synthetic router's statistical properties."""
+
+import numpy as np
+import pytest
+
+from repro.models import mixtral_8x7b_sim, nano_moe
+from repro.routing import (ALPACA_REGIME, UNIFORM_REGIME, WIKITEXT_REGIME,
+                           LocalityRegime, SyntheticRouter, regime_with_alpha)
+
+
+def normalized_entropy(p):
+    p = p / p.sum(axis=1, keepdims=True)
+    p = np.clip(p, 1e-12, None)
+    return float((-(p * np.log(p)).sum(axis=1) / np.log(p.shape[1])).mean())
+
+
+class TestRegimes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalityRegime(name="x", dirichlet_alpha=0)
+        with pytest.raises(ValueError):
+            LocalityRegime(name="x", dirichlet_alpha=1, gate_temperature=0)
+        with pytest.raises(ValueError):
+            LocalityRegime(name="x", dirichlet_alpha=1, drift_scale=-1)
+
+    def test_regime_with_alpha(self):
+        regime = regime_with_alpha(0.5)
+        assert regime.dirichlet_alpha == 0.5
+        assert "0.5" in regime.name
+
+
+class TestTraceGeneration:
+    def setup_method(self):
+        self.config = nano_moe()
+        self.router = SyntheticRouter(self.config, WIKITEXT_REGIME, seed=3)
+
+    def test_trace_shape(self):
+        trace = self.router.generate_trace(5, 100)
+        assert trace.num_steps == 5
+        assert trace.num_layers == self.config.num_layers
+        assert trace.num_experts == self.config.num_experts
+
+    def test_counts_conserve_tokens(self):
+        trace = self.router.generate_trace(4, 64)
+        sums = trace.counts.sum(axis=2)
+        assert np.all(sums == 64 * self.config.top_k)
+
+    def test_deterministic(self):
+        t1 = self.router.generate_trace(3, 50)
+        t2 = SyntheticRouter(self.config, WIKITEXT_REGIME,
+                             seed=3).generate_trace(3, 50)
+        np.testing.assert_array_equal(t1.counts, t2.counts)
+
+    def test_seed_changes_trace(self):
+        t1 = self.router.generate_trace(3, 50, seed=10)
+        t2 = self.router.generate_trace(3, 50, seed=11)
+        assert not np.array_equal(t1.counts, t2.counts)
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            self.router.generate_trace(0, 10)
+
+
+class TestLocalityProperties:
+    def test_skew_ordering_wikitext_vs_alpaca_vs_uniform(self):
+        """Lower Dirichlet alpha must produce more concentrated access."""
+        config = mixtral_8x7b_sim()
+        entropies = []
+        for regime in (WIKITEXT_REGIME, ALPACA_REGIME, UNIFORM_REGIME):
+            router = SyntheticRouter(config, regime, seed=1)
+            entropies.append(normalized_entropy(
+                router.probability_matrix(4096)))
+        assert entropies[0] < entropies[1] < entropies[2]
+
+    def test_probability_matrix_rows_sum_to_top_k(self):
+        router = SyntheticRouter(nano_moe(), ALPACA_REGIME, seed=0)
+        p = router.probability_matrix(2048)
+        np.testing.assert_allclose(p.sum(axis=1), nano_moe().top_k, atol=1e-9)
+
+    def test_profile_predicts_trace_frequencies(self):
+        """The pre-run profile must match realized access within tolerance —
+        the property that makes locality-aware placement work."""
+        router = SyntheticRouter(nano_moe(), WIKITEXT_REGIME, seed=5)
+        profile = router.probability_matrix(8192)
+        trace = router.generate_trace(20, 512)
+        realized = trace.probability_matrix()
+        assert np.abs(profile - realized).max() < 0.08
+
+    def test_drift_is_bounded(self):
+        """Per-layer access frequencies stay near their initial values."""
+        router = SyntheticRouter(nano_moe(), WIKITEXT_REGIME, seed=2)
+        trace = router.generate_trace(40, 512)
+        freq = trace.access_frequency_over_time(0)
+        drift = np.abs(freq - freq[0]).max()
+        assert drift < 0.1
+
+    def test_uniform_regime_is_balanced(self):
+        router = SyntheticRouter(nano_moe(), UNIFORM_REGIME, seed=0)
+        p = router.probability_matrix(8192)
+        expected = nano_moe().top_k / nano_moe().num_experts
+        assert np.abs(p - expected).max() < 0.1
+
+    def test_base_logits_copy(self):
+        router = SyntheticRouter(nano_moe(), WIKITEXT_REGIME, seed=0)
+        logits = router.base_logits
+        logits += 100
+        assert np.abs(router.base_logits).max() < 100

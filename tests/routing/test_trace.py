@@ -1,0 +1,107 @@
+"""Tests for RoutingTrace validation and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingTrace
+
+
+def make_counts(steps=4, layers=3, experts=4, tokens=10, top_k=2, seed=0):
+    """Random counts whose per-(step, layer) sums equal tokens * top_k."""
+    rng = np.random.default_rng(seed)
+    counts = np.zeros((steps, layers, experts), dtype=np.int64)
+    for s in range(steps):
+        for l in range(layers):
+            picks = rng.integers(0, experts, size=tokens * top_k)
+            counts[s, l] = np.bincount(picks, minlength=experts)
+    return counts
+
+
+def make_trace(**kw):
+    counts = make_counts(**kw)
+    return RoutingTrace(model_name="test", top_k=2, tokens_per_step=10,
+                        counts=counts)
+
+
+class TestValidation:
+    def test_valid(self):
+        make_trace()
+
+    def test_rejects_wrong_sum(self):
+        counts = make_counts()
+        counts[1, 2, 0] += 1
+        with pytest.raises(ValueError, match="sum to"):
+            RoutingTrace("t", 2, 10, counts)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            RoutingTrace("t", 2, 10, np.zeros((3, 4)))
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            RoutingTrace("t", 0, 10, make_counts())
+
+    def test_shape_properties(self):
+        trace = make_trace()
+        assert (trace.num_steps, trace.num_layers, trace.num_experts) == (4, 3, 4)
+
+
+class TestStatistics:
+    def test_probability_matrix_rows_sum_to_top_k(self):
+        p = make_trace().probability_matrix()
+        np.testing.assert_allclose(p.sum(axis=1), 2.0, atol=1e-12)
+
+    def test_probability_matrix_window(self):
+        trace = make_trace()
+        p_all = trace.probability_matrix()
+        p_first = trace.probability_matrix(0, 1)
+        assert p_first.shape == p_all.shape
+        np.testing.assert_allclose(p_first,
+                                   trace.counts[0] / trace.tokens_per_step)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            make_trace().probability_matrix(2, 2)
+
+    def test_access_frequency_over_time(self):
+        freq = make_trace().access_frequency_over_time(1)
+        assert freq.shape == (4, 4)
+        np.testing.assert_allclose(freq.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_concentration_bounds(self):
+        conc = make_trace().concentration()
+        assert np.all(conc >= 0) and np.all(conc <= 1 + 1e-12)
+
+    def test_concentration_detects_collapse(self):
+        counts = np.zeros((1, 1, 4), dtype=np.int64)
+        counts[0, 0, 0] = 20
+        collapsed = RoutingTrace("t", 2, 10, counts)
+        assert collapsed.concentration()[0] < 0.05
+
+    def test_slice_steps(self):
+        sliced = make_trace().slice_steps(1, 3)
+        assert sliced.num_steps == 2
+        np.testing.assert_array_equal(sliced.counts, make_trace().counts[1:3])
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = RoutingTrace.load(path)
+        assert loaded.model_name == trace.model_name
+        assert loaded.top_k == trace.top_k
+        np.testing.assert_array_equal(loaded.counts, trace.counts)
+
+    def test_from_step_records(self, nano_model, nano_config, rng):
+        step_records = []
+        for _ in range(3):
+            ids = rng.integers(0, nano_config.vocab_size, size=(2, 8))
+            nano_model.forward(ids)
+            step_records.append(nano_model.routing_records())
+        trace = RoutingTrace.from_step_records(
+            "nano", nano_config.top_k, 16, step_records,
+            nano_config.num_experts)
+        assert trace.num_steps == 3
+        assert trace.num_layers == nano_config.num_layers

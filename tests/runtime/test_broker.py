@@ -1,0 +1,68 @@
+"""Tests for the expert broker's dispatch planning."""
+
+import numpy as np
+import pytest
+
+from repro.comm import MASTER, MessageKind
+from repro.models import nano_moe
+from repro.placement import Placement
+from repro.runtime import ExpertBroker
+
+
+@pytest.fixture
+def broker(nano_config):
+    # nano: 2 layers x 4 experts onto 3 workers
+    assignment = np.array([[0, 1, 2, 0],
+                           [1, 1, 2, 0]])
+    return ExpertBroker(nano_config, Placement(assignment), num_workers=3)
+
+
+def step_counts():
+    return np.array([[10, 20, 30, 40],
+                     [5, 15, 25, 35]])
+
+
+class TestPlanning:
+    def test_tokens_per_worker(self, broker):
+        plan = broker.plan_step(step_counts())
+        np.testing.assert_array_equal(plan.tokens[:, 0], [50, 20, 30])
+        np.testing.assert_array_equal(plan.tokens[:, 1], [35, 20, 25])
+
+    def test_bytes_use_token_feature_size(self, broker, nano_config):
+        plan = broker.plan_step(step_counts())
+        assert plan.bytes_to_worker(0, 0) == \
+            pytest.approx(50 * nano_config.token_feature_nbytes())
+
+    def test_layer_bytes_vector(self, broker):
+        plan = broker.plan_step(step_counts())
+        assert plan.layer_bytes(1).shape == (3,)
+
+    def test_shape_validation(self, broker):
+        with pytest.raises(ValueError):
+            broker.plan_step(np.zeros((5, 5)))
+
+    def test_placement_shape_checked(self, nano_config):
+        with pytest.raises(ValueError):
+            ExpertBroker(nano_config, Placement(np.zeros((1, 1), dtype=int)),
+                         num_workers=2)
+
+
+class TestMessages:
+    def test_dispatch_messages_from_master(self, broker):
+        plan = broker.plan_step(step_counts())
+        msgs = broker.messages_for_layer(plan, 0, MessageKind.TOKEN_DISPATCH)
+        assert all(m.src == MASTER for m in msgs)
+        assert {m.dst for m in msgs} == {0, 1, 2}
+
+    def test_result_messages_to_master(self, broker):
+        plan = broker.plan_step(step_counts())
+        msgs = broker.messages_for_layer(plan, 0, MessageKind.TOKEN_RESULT)
+        assert all(m.dst == MASTER for m in msgs)
+
+    def test_zero_token_workers_skipped(self, broker, nano_config):
+        counts = np.zeros((2, 4), dtype=int)
+        counts[0, 0] = 64 * 2  # everything to expert 0 -> worker 0
+        counts[1, 3] = 64 * 2
+        plan = broker.plan_step(counts)
+        msgs = broker.messages_for_layer(plan, 0, MessageKind.TOKEN_DISPATCH)
+        assert len(msgs) == 1 and msgs[0].dst == 0

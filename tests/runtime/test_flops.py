@@ -1,0 +1,42 @@
+"""Tests for the FLOP accounting model."""
+
+import pytest
+
+from repro.cluster import DeviceSpec
+from repro.models import nano_moe
+from repro.runtime import BACKWARD_MULTIPLIER, FlopModel
+
+
+@pytest.fixture
+def flops(nano_config):
+    return FlopModel(nano_config)
+
+
+@pytest.fixture
+def device():
+    return DeviceSpec("test", memory_bytes=1, effective_flops=1e9)
+
+
+class TestFlopCounts:
+    def test_expert_forward(self, flops, nano_config):
+        assert flops.expert_forward_flops() == \
+            2 * nano_config.expert_num_params()
+
+    def test_attention_grows_with_seq(self, flops):
+        assert flops.attention_forward_flops(64) > \
+            flops.attention_forward_flops(16)
+
+    def test_backward_multiplier(self, flops, device):
+        fwd = flops.expert_time(device, 100)
+        bwd = flops.expert_time(device, 100, backward=True)
+        assert bwd == pytest.approx(BACKWARD_MULTIPLIER * fwd)
+
+    def test_times_scale_linearly_with_tokens(self, flops, device):
+        assert flops.expert_time(device, 200) == \
+            pytest.approx(2 * flops.expert_time(device, 100))
+
+    def test_optimizer_time(self, flops, device):
+        assert flops.optimizer_time(device, 1e6) == pytest.approx(1e7 / 1e9)
+
+    def test_head_time_positive(self, flops, device):
+        assert flops.head_time(device, 10) > 0

@@ -1,0 +1,92 @@
+"""Tests for continuous-batching serving."""
+
+import numpy as np
+import pytest
+
+from repro.models import nano_moe
+from repro.routing import SyntheticRouter, WIKITEXT_REGIME
+from repro.serving import (BatchedDecodeSimulator, ExpertCache, Request,
+                           poisson_workload)
+
+
+def make_sim(capacity=6, max_batch=4, seed=0):
+    config = nano_moe()
+    router = SyntheticRouter(config, WIKITEXT_REGIME, seed=2)
+    return BatchedDecodeSimulator(config, router,
+                                  ExpertCache(capacity), max_batch=max_batch,
+                                  seed=seed)
+
+
+class TestWorkload:
+    def test_poisson_arrivals_increasing(self):
+        requests = poisson_workload(20, arrival_rate=2.0, seed=1)
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.decode_tokens >= 1 for r in requests)
+
+    def test_deterministic(self):
+        a = poisson_workload(10, 1.0, seed=5)
+        b = poisson_workload(10, 1.0, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_workload(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_workload(5, 0.0)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, decode_tokens=0)
+
+
+class TestBatchedSimulator:
+    def test_all_requests_complete(self):
+        requests = poisson_workload(8, arrival_rate=10.0,
+                                    mean_decode_tokens=5, seed=3)
+        metrics = make_sim().run(requests)
+        assert len(metrics.outcomes) == 8
+        finished_ids = {o.request_id for o in metrics.outcomes}
+        assert finished_ids == {r.request_id for r in requests}
+
+    def test_latency_includes_queueing(self):
+        requests = poisson_workload(6, arrival_rate=10.0,
+                                    mean_decode_tokens=4, seed=3)
+        metrics = make_sim(max_batch=1).run(requests)  # forced queueing
+        for outcome in metrics.outcomes:
+            assert outcome.latency >= outcome.queueing_delay >= 0
+            assert outcome.finish_time > outcome.start_time
+
+    def test_batch_limit_respected_via_queueing(self):
+        """With max_batch=1, later requests must queue behind earlier ones."""
+        requests = [Request(0, 0.0, 10), Request(1, 0.0, 10)]
+        metrics = make_sim(max_batch=1).run(requests)
+        first, second = metrics.outcomes
+        assert second.start_time >= first.finish_time - 1e-9
+
+    def test_batching_improves_throughput(self):
+        """Sharing fetched experts across streams beats serial decoding."""
+        requests = [Request(i, 0.0, 12) for i in range(4)]
+        serial = make_sim(capacity=4, max_batch=1, seed=0).run(requests)
+        batched = make_sim(capacity=4, max_batch=4, seed=0).run(requests)
+        assert batched.wall_time < serial.wall_time
+        assert batched.throughput_tokens_per_s() > \
+            serial.throughput_tokens_per_s()
+
+    def test_idle_gap_advances_clock(self):
+        requests = [Request(0, 0.0, 2), Request(1, 100.0, 2)]
+        metrics = make_sim().run(requests)
+        second = [o for o in metrics.outcomes if o.request_id == 1][0]
+        assert second.start_time >= 100.0
+
+    def test_metrics_aggregation(self):
+        requests = poisson_workload(5, 5.0, mean_decode_tokens=3, seed=2)
+        metrics = make_sim().run(requests)
+        assert metrics.mean_latency() > 0
+        assert metrics.p99_latency() >= metrics.mean_latency()
+        assert metrics.total_steps > 0
+        assert 0 <= metrics.hit_rate <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_sim().run([])
+        with pytest.raises(ValueError):
+            make_sim(max_batch=0)
