@@ -16,7 +16,7 @@ import numpy as np
 
 from ..data.loader import LMDataLoader
 from ..lora import LoRAConfig, LoRAReport, inject_lora
-from ..models.moe_block import BlockRoutingRecord
+from ..models.moe_block import DISPATCH_MODES, BlockRoutingRecord
 from ..models.transformer import MoETransformer
 from ..nn.optim import AdamW, GradClipper
 from ..nn.schedule import LRScheduler, WarmupCosineLR
@@ -35,7 +35,10 @@ def _merge_records(first: List[BlockRoutingRecord],
                                            b.expert_indices]),
             selected_scores=np.concatenate([a.selected_scores,
                                             b.selected_scores]),
-            probs=np.concatenate([a.probs, b.probs])))
+            # Unmonitored layers run with record_probs off and carry no
+            # probability matrix.
+            probs=(np.concatenate([a.probs, b.probs])
+                   if a.probs is not None and b.probs is not None else None)))
     return merged
 
 
@@ -46,7 +49,10 @@ class FineTuneConfig:
     ``grad_clip`` enables global-norm clipping; ``grad_accumulation`` folds
     several micro-batches into one optimizer step (the effective tokens per
     step grows accordingly); ``warmup_steps``/``min_lr`` switch the constant
-    schedule to warmup+cosine.
+    schedule to warmup+cosine.  ``dispatch`` selects the MoE dispatch
+    implementation for the training loop (``"fused"`` is the hot-loop
+    default; ``"reference"`` keeps the seed's per-(slot, expert) path for
+    A/B runs).
     """
 
     steps: int = 500
@@ -60,10 +66,14 @@ class FineTuneConfig:
     grad_accumulation: int = 1
     warmup_steps: int = 0
     min_lr: float = 0.0
+    dispatch: str = "fused"
 
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise ValueError("steps must be positive")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
+                             f"got {self.dispatch!r}")
         if self.lr <= 0:
             raise ValueError("lr must be positive")
         if self.grad_clip is not None and self.grad_clip <= 0:
@@ -149,35 +159,47 @@ class Trainer:
         all_callbacks = [loss_cb, routing_cb, gate_cb] + list(callbacks or [])
 
         self.model.train()
+        self.model.set_dispatch_mode(self.config.dispatch)
+        # The inner loop only needs the full (tokens, experts) probability
+        # matrix on the gate-monitored layer; skip the per-step copy
+        # everywhere else.
+        moe_blocks = self.model._moe_blocks()
+        previous_probs = [moe.record_probs for moe in moe_blocks]
+        for layer, moe in enumerate(moe_blocks):
+            moe.record_probs = layer == self.config.monitored_layer
         tokens_per_step = None
         accumulation = self.config.grad_accumulation
         micro_batches = self.loader.batches(steps * accumulation)
-        for step in range(steps):
-            if self.scheduler is not None:
-                self.scheduler.step()
-            self.model.zero_grad()
-            step_loss = 0.0
-            step_counts = None
-            for _ in range(accumulation):
-                inputs, targets = next(micro_batches)
-                if tokens_per_step is None:
-                    tokens_per_step = (inputs.shape[0] * inputs.shape[1]
-                                       * accumulation)
-                loss = self.model.loss(inputs, targets) * (1.0 / accumulation)
-                loss.backward()
-                step_loss += float(loss.item())
-                records = self.model.routing_records()
-                if step_counts is None:
-                    step_counts = records
-                else:
-                    step_counts = _merge_records(step_counts, records)
-            if self.clipper is not None:
-                self.clipper.clip(self.optimizer.params)
-            self.optimizer.step()
+        try:
+            for step in range(steps):
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                self.model.zero_grad()
+                step_loss = 0.0
+                step_counts = None
+                for _ in range(accumulation):
+                    inputs, targets = next(micro_batches)
+                    if tokens_per_step is None:
+                        tokens_per_step = (inputs.shape[0] * inputs.shape[1]
+                                           * accumulation)
+                    loss = self.model.loss(inputs, targets) * (1.0 / accumulation)
+                    loss.backward()
+                    step_loss += float(loss.item())
+                    records = self.model.routing_records()
+                    if step_counts is None:
+                        step_counts = records
+                    else:
+                        step_counts = _merge_records(step_counts, records)
+                if self.clipper is not None:
+                    self.clipper.clip(self.optimizer.params)
+                self.optimizer.step()
+                for callback in all_callbacks:
+                    callback.on_step(step, step_loss, step_counts)
             for callback in all_callbacks:
-                callback.on_step(step, step_loss, step_counts)
-        for callback in all_callbacks:
-            callback.on_end(steps)
+                callback.on_end(steps)
+        finally:
+            for moe, previous in zip(moe_blocks, previous_probs):
+                moe.record_probs = previous
 
         trace = RoutingTrace(model_name=model_cfg.name,
                              top_k=model_cfg.top_k,

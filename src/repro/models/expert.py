@@ -10,6 +10,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn.functional import fused_swiglu
 from ..nn.layers import Linear, Module
 from ..nn.tensor import Tensor
 
@@ -25,7 +26,9 @@ class ExpertFFN(Module):
     def __init__(self, hidden_size: int, ffn_hidden_size: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        # Deterministic fallback keeps standalone expert construction
+        # reproducible (seed hygiene for benchmarks).
+        rng = rng or np.random.default_rng(0)
         self.hidden_size = hidden_size
         self.ffn_hidden_size = ffn_hidden_size
         self.w_gate = Linear(hidden_size, ffn_hidden_size, bias=False, rng=rng)
@@ -35,6 +38,25 @@ class ExpertFFN(Module):
     def forward(self, x: Tensor) -> Tensor:
         """Apply the expert to tokens of shape ``(n, hidden_size)``."""
         return self.w_down(self.w_gate(x).silu() * self.w_up(x))
+
+    def _fusable(self) -> bool:
+        # LoRA injection swaps the projections for LoRALinear modules (and
+        # future variants may add biases); the fused kernel reads the plain
+        # weight matrices directly, so it only applies to the stock layout.
+        return all(type(proj) is Linear and proj.bias is None
+                   for proj in (self.w_gate, self.w_up, self.w_down))
+
+    def forward_fused(self, x: Tensor) -> Tensor:
+        """Apply the expert through the single-node SwiGLU kernel.
+
+        Falls back to the layer-by-layer :meth:`forward` whenever the
+        projections are not plain bias-free ``Linear`` layers (e.g. after
+        LoRA injection), so callers can use this unconditionally.
+        """
+        if not self._fusable():
+            return self.forward(x)
+        return fused_swiglu(x, self.w_gate.weight, self.w_up.weight,
+                            self.w_down.weight)
 
     def num_params(self) -> int:
         """Parameter count."""

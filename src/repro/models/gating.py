@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn.functional import one_hot, softmax, top_k
+from ..nn.functional import one_hot, softmax, take_along_rows, top_k
 from ..nn.layers import Linear, Module
 from ..nn.tensor import Tensor
 
@@ -105,8 +105,9 @@ class TopKGate(Module):
         probs = softmax(logits, axis=-1)
 
         _, indices = top_k(probs.data, self.top_k, axis=-1)
-        rows = np.arange(tokens.shape[0])[:, None]
-        selected = probs[(rows, indices)]  # (tokens, top_k), differentiable
+        # (tokens, top_k), differentiable; top-k columns are distinct per row
+        # so the backward is an assignment scatter, not np.add.at.
+        selected = take_along_rows(probs, indices)
         denom = selected.sum(axis=-1, keepdims=True)
         combine = selected / denom
 

@@ -56,7 +56,7 @@ def nano_moe(seed: int = 0, **overrides) -> MoEModelConfig:
     return config.with_overrides(**overrides) if overrides else config
 
 
-def mixtral_8x7b_sim(**overrides) -> MoEModelConfig:
+def mixtral_8x7b_sim(seed: int = 0, **overrides) -> MoEModelConfig:
     """Mixtral-8x7B routing/communication spec (trace simulation only).
 
     32 blocks x 8 experts, top-2, hidden 4096, 16-bit activations — the
@@ -74,22 +74,23 @@ def mixtral_8x7b_sim(**overrides) -> MoEModelConfig:
         ffn_hidden_size=14336,
         max_seq_len=4096,
         bits_per_feature=16,
+        seed=seed,
     )
     return config.with_overrides(**overrides) if overrides else config
 
 
-def gritlm_8x7b_sim(**overrides) -> MoEModelConfig:
+def gritlm_8x7b_sim(seed: int = 0, **overrides) -> MoEModelConfig:
     """GritLM-8x7B spec — architecturally identical to Mixtral-8x7B.
 
     The paper's GritLM is Mixtral fine-tuned on instruction data; for the
     communication layer only the routing statistics differ, which the
     synthetic router models with a different locality profile.
     """
-    config = mixtral_8x7b_sim().with_overrides(name="gritlm-8x7b-sim")
+    config = mixtral_8x7b_sim(seed=seed).with_overrides(name="gritlm-8x7b-sim")
     return config.with_overrides(**overrides) if overrides else config
 
 
-def switch_xxl_sim(**overrides) -> MoEModelConfig:
+def switch_xxl_sim(seed: int = 0, **overrides) -> MoEModelConfig:
     """A Switch-Transformer-style spec: many experts, top-1 routing.
 
     Top-1 routing halves the per-token traffic relative to top-2 but makes
@@ -106,11 +107,12 @@ def switch_xxl_sim(**overrides) -> MoEModelConfig:
         ffn_hidden_size=10240,
         max_seq_len=2048,
         bits_per_feature=16,
+        seed=seed,
     )
     return config.with_overrides(**overrides) if overrides else config
 
 
-def deepseek_moe_sim(**overrides) -> MoEModelConfig:
+def deepseek_moe_sim(seed: int = 0, **overrides) -> MoEModelConfig:
     """A DeepSeek-MoE-style spec: fine-grained experts, top-6 routing.
 
     Many small experts with high top-k spread token load widely; the
@@ -127,6 +129,7 @@ def deepseek_moe_sim(**overrides) -> MoEModelConfig:
         ffn_hidden_size=1408,
         max_seq_len=4096,
         bits_per_feature=16,
+        seed=seed,
     )
     return config.with_overrides(**overrides) if overrides else config
 

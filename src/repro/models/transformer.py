@@ -132,10 +132,31 @@ class MoETransformer(Module):
             records.append(block.moe.last_record)
         return records
 
+    def _moe_blocks(self) -> List[MoEBlock]:
+        """The underlying MoE blocks, unwrapping runtime wrappers."""
+        # A BrokeredMoEBlock (repro.runtime.functional_exec) wraps the real
+        # block under a ``.block`` attribute; reach through it so mode
+        # switches apply to the module that owns the state.
+        return [getattr(block.moe, "block", block.moe) for block in self.blocks]
+
     def set_record_routing(self, enabled: bool) -> None:
         """Enable or disable routing-record capture."""
-        for block in self.blocks:
-            block.moe.record_routing = enabled
+        for moe in self._moe_blocks():
+            moe.record_routing = enabled
+
+    def set_record_probs(self, enabled: bool) -> None:
+        """Control whether records copy the full probability matrix."""
+        for moe in self._moe_blocks():
+            moe.record_probs = enabled
+
+    def set_dispatch_mode(self, mode: str) -> None:
+        """Select the MoE dispatch implementation (``"fused"``/``"reference"``)."""
+        from .moe_block import DISPATCH_MODES
+        if mode not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
+                             f"got {mode!r}")
+        for moe in self._moe_blocks():
+            moe.dispatch = mode
 
     # convenient sizes ---------------------------------------------------
     def num_expert_params(self) -> int:

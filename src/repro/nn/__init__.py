@@ -11,12 +11,14 @@ from .layers import (Dropout, Embedding, LayerNorm, Linear, Module, Parameter,
 from .optim import SGD, AdamW, GradClipper, Optimizer
 from .schedule import ConstantLR, LRScheduler, StepDecayLR, WarmupCosineLR
 from .serialize import checkpoint_nbytes, load_checkpoint, save_checkpoint
-from .tensor import (Tensor, concatenate, is_grad_enabled, no_grad, ones,
-                     stack, tensor, where, zeros)
+from .tensor import (Tensor, concatenate, default_dtype, get_default_dtype,
+                     is_grad_enabled, no_grad, ones, set_default_dtype, stack,
+                     tensor, where, zeros)
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones", "concatenate", "stack", "where",
     "no_grad", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype", "default_dtype",
     "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "RMSNorm",
     "Dropout", "Sequential", "MultiHeadAttention", "causal_mask",
     "Optimizer", "SGD", "AdamW", "GradClipper",

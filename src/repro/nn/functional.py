@@ -138,6 +138,82 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     return Tensor._make(out_data, (x,), lambda g: (g * mask,))
 
 
+def _segment_sum_rows(values: np.ndarray, row_ids: np.ndarray,
+                      num_rows: int) -> np.ndarray:
+    """Sum rows of ``values`` sharing a row id into a ``(num_rows, ...)`` array.
+
+    Equivalent to ``np.add.at(zeros, row_ids, values)`` but vectorized: sort
+    the ids once (skipped when already sorted) and segment-reduce with
+    ``np.add.reduceat``.  ``np.add.at`` falls back to a scalar inner loop and
+    is the single slowest primitive in the MoE dispatch backward.
+    """
+    out = np.zeros((num_rows,) + values.shape[1:], dtype=values.dtype)
+    n = row_ids.shape[0]
+    if n == 0:
+        return out
+    if n > 1 and np.any(row_ids[1:] < row_ids[:-1]):
+        order = np.argsort(row_ids, kind="stable")
+        sorted_ids = row_ids[order]
+        sorted_values = values[order]
+    else:
+        sorted_ids = row_ids
+        sorted_values = values
+    starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+    out[sorted_ids[starts]] = np.add.reduceat(sorted_values, starts, axis=0)
+    return out
+
+
+def index_select(x: Tensor, row_ids: np.ndarray,
+                 unique_rows: bool = False) -> Tensor:
+    """Differentiable row gather ``x[row_ids]`` for 1-D integer ``row_ids``.
+
+    The backward pass scatter-adds through :func:`_segment_sum_rows` instead
+    of the generic ``np.add.at`` fallback of ``Tensor.__getitem__`` — this is
+    the fast path the fused MoE dispatch uses to hand each expert its token
+    batch.  Pass ``unique_rows=True`` when the caller guarantees ``row_ids``
+    are pairwise distinct (one expert's segment never repeats a token, since
+    the gate's top-k choices are distinct): the backward then degenerates to
+    an assignment scatter, skipping the segment reduction entirely.
+    """
+    x = _as_tensor(x)
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    if row_ids.ndim != 1:
+        raise ValueError("index_select expects 1-D row ids")
+    out_data = x.data[row_ids]
+    num_rows = x.data.shape[0]
+
+    def backward(g: np.ndarray):
+        if unique_rows:
+            grad = np.zeros((num_rows,) + g.shape[1:], dtype=g.dtype)
+            grad[row_ids] = g
+            return (grad,)
+        return (_segment_sum_rows(g, row_ids, num_rows),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def take_along_rows(x: Tensor, col_ids: np.ndarray) -> Tensor:
+    """Differentiable per-row column gather ``x[i, col_ids[i, j]]``.
+
+    ``col_ids`` must hold distinct columns within each row (true for top-k
+    selections), so the backward is a plain ``put_along_axis`` assignment —
+    no atomic scatter-add needed.  This is the gate's hot path for picking
+    the selected experts' scores out of the ``(tokens, num_experts)`` softmax.
+    """
+    x = _as_tensor(x)
+    col_ids = np.asarray(col_ids, dtype=np.int64)
+    if x.data.ndim != 2 or col_ids.ndim != 2:
+        raise ValueError("take_along_rows expects 2-D input and 2-D col_ids")
+    out_data = np.take_along_axis(x.data, col_ids, axis=1)
+
+    def backward(g: np.ndarray):
+        grad = np.zeros(x.data.shape, dtype=g.dtype)
+        np.put_along_axis(grad, col_ids, g, axis=1)
+        return (grad,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
 def scatter_rows(values: Tensor, row_ids: np.ndarray, num_rows: int) -> Tensor:
     """Scatter-add ``values`` (shape ``(n, d)``) into a zero matrix of shape
     ``(num_rows, d)`` at rows ``row_ids``.
@@ -152,13 +228,57 @@ def scatter_rows(values: Tensor, row_ids: np.ndarray, num_rows: int) -> Tensor:
         raise ValueError("scatter_rows expects 1-D row_ids and 2-D values")
     if row_ids.shape[0] != values.data.shape[0]:
         raise ValueError("row_ids and values must agree on the first dimension")
-    out_data = np.zeros((num_rows, values.data.shape[1]), dtype=values.data.dtype)
-    np.add.at(out_data, row_ids, values.data)
+    out_data = _segment_sum_rows(values.data, row_ids, num_rows)
 
     def backward(g: np.ndarray):
         return (g[row_ids],)
 
     return Tensor._make(out_data, (values,), backward)
+
+
+def fused_swiglu(x: Tensor, w_gate: Tensor, w_up: Tensor,
+                 w_down: Tensor) -> Tensor:
+    """SwiGLU FFN ``(silu(x Wg^T) * (x Wu^T)) Wd^T`` as one autograd node.
+
+    Functionally identical to chaining three ``Linear`` layers with ``silu``
+    and ``*``, but the whole expert runs as a single graph node with a
+    hand-written single-pass backward: no intermediate ``Tensor`` wrappers,
+    no transpose nodes, and the weight-gradient GEMMs are skipped outright
+    for frozen weights (gate-frozen fine-tuning, inference).  This is the
+    per-expert kernel of the fused MoE dispatch hot loop.
+
+    Weights use the ``Linear`` layout: ``w_gate``/``w_up`` are
+    ``(ffn, hidden)``, ``w_down`` is ``(hidden, ffn)``.
+    """
+    xd = x.data
+    g = xd @ w_gate.data.T
+    u = xd @ w_up.data.T
+    sig = 1.0 / (1.0 + np.exp(-g))
+    s = g * sig
+    h = s * u
+    out_data = h @ w_down.data.T
+
+    def backward(gy: np.ndarray):
+        gh = gy @ w_down.data
+        gu = gh * s
+        # d silu(g)/dg = sig + g * sig * (1 - sig), same form as Tensor.silu,
+        # built up in place to avoid three (n, ffn) temporaries.
+        dsilu = 1.0 - sig
+        dsilu *= sig
+        dsilu *= g
+        dsilu += sig
+        gg = gh * u
+        gg *= dsilu
+        gx = None
+        if x.requires_grad:
+            gx = gg @ w_gate.data
+            gx += gu @ w_up.data
+        gw_gate = gg.T @ xd if w_gate.requires_grad else None
+        gw_up = gu.T @ xd if w_up.requires_grad else None
+        gw_down = gy.T @ h if w_down.requires_grad else None
+        return (gx, gw_gate, gw_up, gw_down)
+
+    return Tensor._make(out_data, (x, w_gate, w_up, w_down), backward)
 
 
 def gelu(x: Tensor) -> Tensor:

@@ -18,10 +18,19 @@ from .tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is a trainable leaf by default."""
+    """A :class:`Tensor` that is a trainable leaf by default.
+
+    Floating data is cast to the module-level default dtype (see
+    :func:`repro.nn.tensor.set_default_dtype`), so building a model under
+    ``set_default_dtype(np.float32)`` yields a float32 model end to end.
+    """
 
     def __init__(self, data, requires_grad: bool = True, name: str = ""):
         super().__init__(data, requires_grad=requires_grad, name=name)
+        from .tensor import get_default_dtype
+        target = get_default_dtype()
+        if np.issubdtype(self.data.dtype, np.floating) and self.data.dtype != target:
+            self.data = self.data.astype(target)
 
 
 class Module:

@@ -25,6 +25,44 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
 
+_default_dtype = np.dtype(np.float64)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the floating dtype new tensors and parameters are created with.
+
+    ``float64`` (the default) keeps gradient checks tight; ``float32`` halves
+    the memory bandwidth of every op in the training hot loop.  Only affects
+    tensors built from non-array data (lists, scalars), the ``zeros``/``ones``
+    factories, and :class:`~repro.nn.layers.Parameter` construction — arrays
+    passed in explicitly keep their dtype.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    global _default_dtype
+    _default_dtype = dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The current default floating dtype."""
+    return _default_dtype
+
+
+class default_dtype:
+    """Context manager that temporarily switches the default floating dtype."""
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+
+    def __enter__(self) -> "default_dtype":
+        self._prev = _default_dtype
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_default_dtype(self._prev)
+
 
 class no_grad:
     """Context manager that disables gradient tape recording.
@@ -87,11 +125,15 @@ class Tensor:
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         if isinstance(data, Tensor):
             data = data.data
+        from_array = isinstance(data, np.ndarray)
         arr = np.asarray(data)
         if arr.dtype == np.float16:
             arr = arr.astype(np.float32)
         if requires_grad and not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
+            arr = arr.astype(_default_dtype)
+        elif (not from_array and np.issubdtype(arr.dtype, np.floating)
+              and arr.dtype != _default_dtype):
+            arr = arr.astype(_default_dtype)
         self.data: np.ndarray = arr
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
@@ -171,9 +213,15 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = np.asarray(grad)
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            # Keep the grad's own precision (never silently downcast a
+            # float64 grad onto a float32 leaf); the copy also materializes
+            # broadcast views so the in-place accumulate below is safe.
+            self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            target = np.result_type(self.grad.dtype, grad.dtype)
+            if self.grad.dtype != target:
+                self.grad = self.grad.astype(target)
+            self.grad += grad
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -215,18 +263,28 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
+            owned.discard(id(node))
             if node_grad is None:
                 continue
             if node.requires_grad and node._backward is None:
                 # Leaf tensor: accumulate into .grad.
                 node._accumulate(node_grad)
             if node._backward is not None:
-                node._push_to_parents(node_grad, grads)
+                node._push_to_parents(node_grad, grads, owned)
 
-    def _push_to_parents(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
-        """Invoke the local backward closure, routing gradients to parents."""
+    def _push_to_parents(self, grad: np.ndarray, grads: dict[int, np.ndarray],
+                         owned: Optional[set] = None) -> None:
+        """Invoke the local backward closure, routing gradients to parents.
+
+        ``owned`` tracks buffers this backward pass allocated itself: those
+        accumulate in place, while first contributions (which may alias the
+        upstream grad or a broadcast view) are only summed out-of-place once.
+        """
+        if owned is None:
+            owned = set()
         contributions = self._backward(grad)
         if contributions is None:
             return
@@ -235,10 +293,14 @@ class Tensor:
                 continue
             contribution = _unbroadcast(np.asarray(contribution), parent.data.shape)
             key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + contribution
-            else:
+            if key not in grads:
                 grads[key] = contribution
+            elif key in owned and grads[key].dtype == np.result_type(
+                    grads[key].dtype, contribution.dtype):
+                grads[key] += contribution
+            else:
+                grads[key] = grads[key] + contribution
+                owned.add(key)
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -481,13 +543,13 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
-    """Zero-filled tensor/array of the given shape."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    """Zero-filled tensor/array of the given shape (default floating dtype)."""
+    return Tensor(np.zeros(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
-    """One-filled tensor of the given shape."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    """One-filled tensor of the given shape (default floating dtype)."""
+    return Tensor(np.ones(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

@@ -18,9 +18,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..models.moe_block import MoEBlock
+from ..models.moe_block import MoEBlock, fused_dispatch
 from ..models.transformer import MoETransformer
-from ..nn.functional import scatter_rows
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
 from ..placement.base import Placement
@@ -70,45 +69,30 @@ class BrokeredMoEBlock(Module):
         gate_out = self.block.gate(tokens)
         self.block.last_aux_loss = gate_out.aux_loss
         if self.block.record_routing:
-            from ..models.moe_block import BlockRoutingRecord
-            rows = np.arange(gate_out.num_tokens)[:, None]
-            self.block.last_record = BlockRoutingRecord(
-                layer=self.block.layer_index,
-                expert_indices=gate_out.expert_indices.copy(),
-                selected_scores=gate_out.probs.data[
-                    rows, gate_out.expert_indices].copy(),
-                probs=gate_out.probs.data.copy())
-        num_tokens = tokens.shape[0]
+            self.block.last_record = self.block.make_record(gate_out)
 
-        # Broker view: for each worker, the (token, slot) pairs it serves.
-        worker_jobs: Dict[int, List] = {}
-        for slot in range(self.block.top_k):
-            experts = gate_out.expert_indices[:, slot]
-            for expert_id in np.unique(experts):
-                worker = int(self.layer_assignment[expert_id])
-                token_ids = np.nonzero(experts == expert_id)[0]
-                worker_jobs.setdefault(worker, []).append(
-                    (int(expert_id), slot, token_ids))
-
+        # Broker view: tokens-per-worker from the per-expert access counts
+        # (all top-k slots merged — a worker receives each routed token once
+        # per selected hosted expert).
+        counts = np.bincount(gate_out.expert_indices.reshape(-1),
+                             minlength=self.block.num_experts)
+        worker_experts: Dict[int, List[int]] = {}
+        for expert_id, worker in enumerate(self.layer_assignment):
+            worker_experts.setdefault(int(worker), []).append(expert_id)
         self.tokens_per_worker_last = {
-            worker: int(sum(len(t) for _, _, t in jobs))
-            for worker, jobs in worker_jobs.items()
+            worker: int(counts[experts].sum())
+            for worker, experts in worker_experts.items()
+            if counts[experts].sum() > 0
         }
 
-        contributions = []
-        for worker in sorted(worker_jobs):
-            # One "Expert Manager" receives its token batch and processes
-            # its hosted experts, one contiguous sub-batch per expert.
-            for expert_id, slot, token_ids in worker_jobs[worker]:
-                expert_out = self.block.experts[expert_id](tokens[token_ids])
-                weights = gate_out.combine_weights[
-                    (token_ids, np.full(len(token_ids), slot))]
-                contributions.append(scatter_rows(
-                    expert_out * weights.reshape(-1, 1), token_ids,
-                    num_tokens))
-        total = contributions[0]
-        for extra in contributions[1:]:
-            total = total + extra
+        # One "Expert Manager" per worker processes its hosted experts, one
+        # contiguous sub-batch per expert (slots merged).  The shared fused
+        # dispatch guarantees worker-order execution is bit-identical to the
+        # monolithic block — the paper's convergence-equivalence claim.
+        expert_order = [expert_id for worker in sorted(worker_experts)
+                        for expert_id in worker_experts[worker]]
+        total = fused_dispatch(self.block.experts, tokens, gate_out,
+                               expert_order=expert_order)
         return total.reshape(batch, seq, hidden)
 
 

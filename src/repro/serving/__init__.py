@@ -3,13 +3,14 @@
 from .batching import (BatchedDecodeSimulator, BatchedServingMetrics,
                        Request, RequestOutcome, poisson_workload)
 from .cache import POLICIES, CacheStats, ExpertCache, hot_expert_keys
-from .engine import DecodeSimulator, ServingConfig, ServingMetrics
+from .engine import (DecodeSimulator, LiveDecodeEngine, ServingConfig,
+                     ServingMetrics)
 from .prefetch import (PrefetchingDecodeSimulator, PrefetchStats,
                        SpeculativePrefetcher)
 
 __all__ = [
     "ExpertCache", "CacheStats", "POLICIES", "hot_expert_keys",
-    "DecodeSimulator", "ServingConfig", "ServingMetrics",
+    "DecodeSimulator", "LiveDecodeEngine", "ServingConfig", "ServingMetrics",
     "BatchedDecodeSimulator", "BatchedServingMetrics", "Request",
     "RequestOutcome", "poisson_workload",
     "SpeculativePrefetcher", "PrefetchingDecodeSimulator", "PrefetchStats",

@@ -20,6 +20,9 @@ import numpy as np
 
 from ..cluster.device import DeviceSpec, v100_32gb
 from ..models.config import MoEModelConfig
+from ..models.moe_block import DISPATCH_MODES
+from ..models.transformer import MoETransformer
+from ..nn.tensor import no_grad
 from ..routing.synthetic import SyntheticRouter
 from ..runtime.flops import FlopModel
 from .cache import ExpertCache
@@ -69,6 +72,59 @@ class ServingMetrics:
         """Decoded tokens per wall-clock second."""
         total = self.token_latencies.sum()
         return self.num_tokens / total if total > 0 else 0.0
+
+
+class LiveDecodeEngine:
+    """Greedy autoregressive decoding on a live (tiny) :class:`MoETransformer`.
+
+    The inference hot loop runs with gradients disabled, full-probability
+    record copies off, and the fused MoE dispatch (``dispatch="fused"``, the
+    default; ``"reference"`` stays selectable for A/B runs).  Routing records
+    keep flowing, so the decode stream can still feed locality profiling and
+    the cache simulators above.
+    """
+
+    def __init__(self, model: MoETransformer, dispatch: str = "fused"):
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
+                             f"got {dispatch!r}")
+        self.model = model
+        self.model.set_dispatch_mode(dispatch)
+
+    def decode(self, prompt_ids: np.ndarray, num_tokens: int) -> np.ndarray:
+        """Greedily decode ``num_tokens`` continuations of ``prompt_ids``.
+
+        ``prompt_ids`` is ``(batch, prompt_len)``; returns the generated ids
+        as ``(batch, num_tokens)``.  The prompt plus generation must fit in
+        the model's ``max_seq_len``.
+        """
+        prompt_ids = np.asarray(prompt_ids)
+        if prompt_ids.ndim != 2:
+            raise ValueError(f"expected (batch, prompt_len) prompt ids, "
+                             f"got {prompt_ids.shape}")
+        if num_tokens < 1:
+            raise ValueError("num_tokens must be positive")
+        max_len = self.model.config.max_seq_len
+        if prompt_ids.shape[1] + num_tokens > max_len:
+            raise ValueError(f"prompt ({prompt_ids.shape[1]}) + generation "
+                             f"({num_tokens}) exceeds max_seq_len {max_len}")
+        was_training = self.model.training
+        moe_blocks = self.model._moe_blocks()
+        previous_probs = [moe.record_probs for moe in moe_blocks]
+        self.model.eval()
+        self.model.set_record_probs(False)
+        ids = prompt_ids
+        try:
+            with no_grad():
+                for _ in range(num_tokens):
+                    logits = self.model(ids)
+                    next_ids = np.argmax(logits.data[:, -1, :], axis=-1)
+                    ids = np.concatenate([ids, next_ids[:, None]], axis=1)
+        finally:
+            self.model.train(was_training)
+            for moe, previous in zip(moe_blocks, previous_probs):
+                moe.record_probs = previous
+        return ids[:, prompt_ids.shape[1]:]
 
 
 class DecodeSimulator:

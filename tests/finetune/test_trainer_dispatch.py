@@ -1,0 +1,98 @@
+"""Trainer integration of the fused dispatch and record_probs fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.data import LMDataLoader
+from repro.finetune import FineTuneConfig, Trainer
+from repro.finetune.trainer import _merge_records
+from repro.models import build_model
+from repro.models.moe_block import BlockRoutingRecord
+
+
+@pytest.fixture
+def loader(nano_config, rng):
+    tokens = rng.integers(0, nano_config.vocab_size, size=800)
+    return LMDataLoader(tokens, batch_size=2, seq_len=16, seed=0)
+
+
+class TestDispatchConfig:
+    def test_default_is_fused(self):
+        assert FineTuneConfig().dispatch == "fused"
+
+    def test_invalid_dispatch_rejected(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(dispatch="eager")
+
+    def test_trainer_applies_dispatch_mode(self, nano_config, loader):
+        model = build_model(nano_config)
+        trainer = Trainer(model, loader,
+                          FineTuneConfig(steps=2, dispatch="reference"))
+        trainer.train()
+        assert all(b.moe.dispatch == "reference" for b in model.blocks)
+
+    def test_fused_and_reference_trainers_converge_identically(
+            self, nano_config):
+        tokens = np.random.default_rng(0).integers(
+            0, nano_config.vocab_size, size=800)
+        results = {}
+        for mode in ("fused", "reference"):
+            model = build_model(nano_config)
+            loader = LMDataLoader(tokens, batch_size=2, seq_len=16, seed=0)
+            trainer = Trainer(model, loader,
+                              FineTuneConfig(steps=3, dispatch=mode))
+            results[mode] = trainer.train().losses
+        np.testing.assert_allclose(results["fused"], results["reference"],
+                                   rtol=1e-9)
+
+
+class TestRecordProbsInTrainLoop:
+    def test_only_monitored_layer_records_probs(self, nano_config, loader):
+        model = build_model(nano_config)
+        monitored = 1
+        captured = []
+
+        from repro.finetune.callbacks import LambdaCallback
+        trainer = Trainer(model, loader,
+                          FineTuneConfig(steps=2, monitored_layer=monitored))
+        trainer.train(callbacks=[LambdaCallback(
+            lambda step, loss, records: captured.append(
+                [r.probs is not None for r in records]))])
+
+        for flags in captured:
+            for layer, has_probs in enumerate(flags):
+                assert has_probs == (layer == monitored)
+
+    def test_record_probs_restored_after_training(self, nano_config, loader):
+        model = build_model(nano_config)
+        trainer = Trainer(model, loader, FineTuneConfig(steps=2))
+        trainer.train()
+        assert all(b.moe.record_probs for b in model.blocks)
+
+    def test_gate_monitor_still_fed(self, nano_config, loader):
+        model = build_model(nano_config)
+        trainer = Trainer(model, loader,
+                          FineTuneConfig(steps=3, monitored_layer=0))
+        result = trainer.train()
+        assert result.gate_mean_probs.shape == (3, nano_config.num_experts)
+        assert np.all(np.isfinite(result.gate_mean_probs))
+
+
+class TestMergeRecords:
+    def _record(self, probs):
+        return BlockRoutingRecord(
+            layer=0,
+            expert_indices=np.zeros((2, 2), dtype=np.int64),
+            selected_scores=np.ones((2, 2)),
+            probs=probs)
+
+    def test_merges_probs_when_present(self):
+        merged = _merge_records([self._record(np.ones((2, 4)))],
+                                [self._record(np.ones((2, 4)))])
+        assert merged[0].probs.shape == (4, 4)
+        assert merged[0].expert_indices.shape == (4, 2)
+
+    def test_none_probs_stay_none(self):
+        merged = _merge_records([self._record(None)], [self._record(None)])
+        assert merged[0].probs is None
+        assert merged[0].expert_indices.shape == (4, 2)

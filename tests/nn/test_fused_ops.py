@@ -1,0 +1,230 @@
+"""Tests for the fused-dispatch primitives and autograd fast paths.
+
+Covers the ops the fused MoE hot loop is built from — ``index_select``,
+``take_along_rows``, ``scatter_rows``/``_segment_sum_rows``, ``fused_swiglu``
+and ``where`` — each gradient-checked against central differences, plus the
+default-dtype machinery and the no-downcast gradient accumulation rule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, default_dtype, get_default_dtype, ones, \
+    set_default_dtype, where, zeros
+from repro.nn.functional import (_segment_sum_rows, fused_swiglu,
+                                 index_select, scatter_rows, take_along_rows)
+from repro.nn.layers import Linear, Parameter
+
+from tests.conftest import numeric_gradient
+
+
+class TestSegmentSumRows:
+    @pytest.mark.parametrize("n", [0, 1, 7, 100])
+    def test_matches_add_at(self, n, rng):
+        values = rng.normal(size=(n, 5))
+        row_ids = rng.integers(0, 9, size=n)
+        expected = np.zeros((9, 5))
+        np.add.at(expected, row_ids, values)
+        np.testing.assert_allclose(
+            _segment_sum_rows(values, row_ids, 9), expected, atol=1e-12)
+
+    def test_sorted_ids_skip_resort(self, rng):
+        values = rng.normal(size=(6, 3))
+        row_ids = np.array([0, 0, 2, 2, 2, 5])
+        expected = np.zeros((6, 3))
+        np.add.at(expected, row_ids, values)
+        np.testing.assert_allclose(
+            _segment_sum_rows(values, row_ids, 6), expected, atol=1e-12)
+
+
+class TestIndexSelect:
+    def test_forward_matches_fancy_indexing(self, rng):
+        x = rng.normal(size=(8, 4))
+        row_ids = np.array([3, 3, 0, 7])
+        out = index_select(Tensor(x), row_ids)
+        np.testing.assert_array_equal(out.data, x[row_ids])
+
+    def test_gradient_with_duplicates(self, rng):
+        x = rng.normal(size=(6, 3))
+        row_ids = np.array([2, 2, 2, 5, 0])
+        xt = Tensor(x.copy(), requires_grad=True)
+        (index_select(xt, row_ids) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda a: float((a[row_ids] ** 2).sum()), x.copy())
+        np.testing.assert_allclose(xt.grad, numeric, atol=1e-6)
+
+    def test_unique_rows_gradient(self, rng):
+        x = rng.normal(size=(6, 3))
+        row_ids = np.array([1, 3, 5])
+        xt = Tensor(x.copy(), requires_grad=True)
+        (index_select(xt, row_ids, unique_rows=True) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda a: float((a[row_ids] ** 2).sum()), x.copy())
+        np.testing.assert_allclose(xt.grad, numeric, atol=1e-6)
+
+    def test_rejects_2d_ids(self):
+        with pytest.raises(ValueError):
+            index_select(Tensor(np.zeros((3, 2))), np.zeros((2, 2), dtype=int))
+
+
+class TestTakeAlongRows:
+    def test_forward(self, rng):
+        x = rng.normal(size=(4, 6))
+        cols = np.array([[0, 5], [1, 2], [3, 4], [5, 0]])
+        out = take_along_rows(Tensor(x), cols)
+        np.testing.assert_array_equal(
+            out.data, np.take_along_axis(x, cols, axis=1))
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(4, 6))
+        cols = np.array([[0, 5], [1, 2], [3, 4], [5, 0]])
+        xt = Tensor(x.copy(), requires_grad=True)
+        (take_along_rows(xt, cols) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda a: float((np.take_along_axis(a, cols, axis=1) ** 2).sum()),
+            x.copy())
+        np.testing.assert_allclose(xt.grad, numeric, atol=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            take_along_rows(Tensor(np.zeros(3)), np.zeros((1, 1), dtype=int))
+
+
+class TestScatterRowsGradient:
+    def test_gradient(self, rng):
+        values = rng.normal(size=(5, 3))
+        row_ids = np.array([0, 2, 2, 4, 0])
+        vt = Tensor(values.copy(), requires_grad=True)
+        (scatter_rows(vt, row_ids, 6) ** 2).sum().backward()
+
+        def fn(v):
+            out = np.zeros((6, 3))
+            np.add.at(out, row_ids, v)
+            return float((out ** 2).sum())
+
+        numeric = numeric_gradient(fn, values.copy())
+        np.testing.assert_allclose(vt.grad, numeric, atol=1e-6)
+
+
+class TestFusedSwiGLU:
+    def _weights(self, rng):
+        return (rng.normal(size=(5, 4)), rng.normal(size=(5, 4)),
+                rng.normal(size=(4, 5)))
+
+    @staticmethod
+    def _forward_np(x, wg, wu, wd):
+        g = x @ wg.T
+        return ((g / (1.0 + np.exp(-g))) * (x @ wu.T)) @ wd.T
+
+    def test_matches_layerwise_forward(self, rng):
+        wg, wu, wd = self._weights(rng)
+        x = rng.normal(size=(7, 4))
+        out = fused_swiglu(Tensor(x), Tensor(wg), Tensor(wu), Tensor(wd))
+        np.testing.assert_allclose(out.data, self._forward_np(x, wg, wu, wd),
+                                   atol=1e-12)
+
+    def test_gradients_all_inputs(self, rng):
+        wg, wu, wd = self._weights(rng)
+        x = rng.normal(size=(7, 4))
+        arrays = {"x": x, "wg": wg, "wu": wu, "wd": wd}
+        tensors = {k: Tensor(v.copy(), requires_grad=True)
+                   for k, v in arrays.items()}
+        out = fused_swiglu(tensors["x"], tensors["wg"], tensors["wu"],
+                           tensors["wd"])
+        (out ** 2).sum().backward()
+        for name in arrays:
+            def fn(a, name=name):
+                inputs = {k: (a if k == name else arrays[k]) for k in arrays}
+                return float((self._forward_np(
+                    inputs["x"], inputs["wg"], inputs["wu"],
+                    inputs["wd"]) ** 2).sum())
+            numeric = numeric_gradient(fn, arrays[name].copy())
+            np.testing.assert_allclose(tensors[name].grad, numeric,
+                                       atol=1e-5, err_msg=name)
+
+    def test_frozen_weights_skip_grads(self, rng):
+        wg, wu, wd = self._weights(rng)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        params = [Tensor(w, requires_grad=False) for w in (wg, wu, wd)]
+        fused_swiglu(x, *params).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is None for p in params)
+
+
+class TestWhereGradient:
+    def test_gradient_both_branches(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        cond = a > 0
+        at = Tensor(a.copy(), requires_grad=True)
+        bt = Tensor(b.copy(), requires_grad=True)
+        (where(cond, at, bt) ** 2).sum().backward()
+        num_a = numeric_gradient(
+            lambda v: float((np.where(cond, v, b) ** 2).sum()), a.copy())
+        num_b = numeric_gradient(
+            lambda v: float((np.where(cond, a, v) ** 2).sum()), b.copy())
+        np.testing.assert_allclose(at.grad, num_a, atol=1e-6)
+        np.testing.assert_allclose(bt.grad, num_b, atol=1e-6)
+
+
+class TestDefaultDtype:
+    def teardown_method(self):
+        set_default_dtype(np.float64)
+
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_context_manager_restores(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert zeros(2, 2).data.dtype == np.float32
+            assert ones(3).data.dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_parameter_cast_to_default(self):
+        with default_dtype(np.float32):
+            p = Parameter(np.zeros(4))
+            assert p.data.dtype == np.float32
+            layer = Linear(3, 2, rng=np.random.default_rng(0))
+            assert layer.weight.data.dtype == np.float32
+
+    def test_explicit_arrays_keep_dtype(self):
+        with default_dtype(np.float32):
+            t = Tensor(np.zeros(3, dtype=np.float64))
+            assert t.data.dtype == np.float64
+
+    def test_float32_graph_stays_float32(self):
+        with default_dtype(np.float32):
+            layer = Linear(4, 4, rng=np.random.default_rng(0))
+            x = Tensor(np.ones((2, 4), dtype=np.float32), requires_grad=True)
+            layer(x).sum().backward()
+            assert x.grad.dtype == np.float32
+            assert layer.weight.grad.dtype == np.float32
+
+
+class TestAccumulateNoDowncast:
+    def test_float64_grad_onto_float32_leaf(self):
+        t = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        t._accumulate(np.ones(3, dtype=np.float64))
+        assert t.grad.dtype == np.float64
+        t._accumulate(np.ones(3, dtype=np.float32))
+        assert t.grad.dtype == np.float64
+        np.testing.assert_array_equal(t.grad, 2.0)
+
+    def test_float32_then_float64_upcasts(self):
+        t = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        t._accumulate(np.ones(3, dtype=np.float32))
+        assert t.grad.dtype == np.float32
+        t._accumulate(np.ones(3, dtype=np.float64))
+        assert t.grad.dtype == np.float64
+        np.testing.assert_array_equal(t.grad, 2.0)
+
+    def test_broadcast_grad_materialized(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True)
+        t._accumulate(np.broadcast_to(np.float64(1.0), (2, 3)))
+        t._accumulate(np.ones((2, 3)))
+        np.testing.assert_array_equal(t.grad, 2.0)

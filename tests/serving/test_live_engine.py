@@ -1,0 +1,62 @@
+"""Tests for the live-model decode engine (fused inference hot loop)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import LiveDecodeEngine
+
+
+class TestLiveDecodeEngine:
+    def test_decode_shape(self, nano_model):
+        engine = LiveDecodeEngine(nano_model)
+        out = engine.decode(np.array([[1, 2, 3], [4, 5, 6]]), 4)
+        assert out.shape == (2, 4)
+        assert out.dtype.kind in "iu"
+
+    def test_greedy_decode_deterministic(self, nano_model):
+        engine = LiveDecodeEngine(nano_model)
+        prompt = np.array([[1, 2, 3]])
+        np.testing.assert_array_equal(engine.decode(prompt, 5),
+                                      engine.decode(prompt, 5))
+
+    def test_dispatch_modes_decode_identically(self, nano_config):
+        from repro.models import build_model
+        model = build_model(nano_config)
+        prompt = np.array([[1, 2, 3]])
+        out_fused = LiveDecodeEngine(model, dispatch="fused").decode(prompt, 5)
+        out_ref = LiveDecodeEngine(model, dispatch="reference").decode(prompt, 5)
+        np.testing.assert_array_equal(out_fused, out_ref)
+
+    def test_invalid_dispatch_rejected(self, nano_model):
+        with pytest.raises(ValueError):
+            LiveDecodeEngine(nano_model, dispatch="eager")
+
+    def test_routing_records_flow_without_probs(self, nano_model):
+        engine = LiveDecodeEngine(nano_model)
+        engine.decode(np.array([[1, 2]]), 3)
+        for block in nano_model.blocks:
+            record = block.moe.last_record
+            assert record is not None
+            assert record.probs is None          # hot loop skips the copy
+            assert record.expert_indices.size > 0
+            assert block.moe.record_probs is True  # flag restored after
+
+    def test_mode_flags_restored(self, nano_model):
+        nano_model.train()
+        LiveDecodeEngine(nano_model).decode(np.array([[1]]), 2)
+        assert nano_model.training is True
+
+    def test_length_validation(self, nano_model):
+        engine = LiveDecodeEngine(nano_model)
+        max_len = nano_model.config.max_seq_len
+        with pytest.raises(ValueError):
+            engine.decode(np.zeros((1, max_len), dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            engine.decode(np.array([[1, 2]]), 0)
+        with pytest.raises(ValueError):
+            engine.decode(np.array([1, 2]), 1)
+
+    def test_no_gradients_recorded(self, nano_model):
+        engine = LiveDecodeEngine(nano_model)
+        engine.decode(np.array([[1, 2]]), 2)
+        assert all(p.grad is None for p in nano_model.parameters())
