@@ -1,0 +1,246 @@
+"""Vectorized vs reference trace replay — speedup and equivalence benchmark.
+
+Times the full trace replay of both step engines under the two modes at
+every paper cell:
+
+``reference``
+    The seed's per-step loop over steps x layers x workers
+    (``run_trace(mode="reference")``).
+``vectorized``
+    The batched replay: one ``ExpertBroker.plan_trace`` per run, fork-join
+    spans and all-to-all costs as whole-trace numpy reductions
+    (``run_trace(mode="vectorized")``, the default).
+
+Every cell is equivalence-checked in the same run: all ``StepMetrics``
+fields of the two modes must agree to ``< 1e-9`` relative divergence.  The
+benchmark also times a cold vs cached ``run_full_evaluation`` — the cached
+re-run must complete in under 10 % of the cold wall time.
+
+Run standalone for the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py --output BENCH_replay.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import run_full_evaluation
+from repro.bench.report import format_table
+from repro.bench.workloads import paper_workload
+from repro.placement import PlacementProblem
+from repro.placement.random_ import RandomPlacement
+from repro.runtime.engine import ExpertParallelEngine, MasterWorkerEngine
+
+# (model, dataset, steps); (mixtral, wikitext, 60) is the acceptance point.
+CELLS = [
+    ("mixtral", "wikitext", 60),
+    ("mixtral", "alpaca", 24),
+    ("gritlm", "wikitext", 24),
+    ("gritlm", "alpaca", 24),
+]
+
+HEADLINE_CELL = ("mixtral", "wikitext", 60)
+HEADLINE_MIN_SPEEDUP = 5.0
+EQUIVALENCE_TOL = 1e-9
+CACHE_MAX_RATIO = 0.10
+
+_METRIC_FIELDS = ("total_time", "comm_time", "compute_time", "sync_time",
+                  "allreduce_time", "total_bytes", "cross_node_bytes")
+
+
+def _build_cell(model: str, dataset: str, steps: int):
+    """Workload, trace, placement, and engine factories for one cell."""
+    workload = paper_workload(model, dataset, seed=1)
+    cfg = workload.config
+    trace = workload.trace(steps)
+    problem = PlacementProblem(config=cfg.model, topology=cfg.topology,
+                               probability_matrix=workload.probability_matrix,
+                               tokens_per_step=cfg.tokens_per_step)
+    placement = RandomPlacement(seed=3).place(problem)
+
+    def engines():
+        return (MasterWorkerEngine(cfg.model, cfg.topology, placement,
+                                   cfg.tokens_per_step, cfg.seq_len),
+                ExpertParallelEngine(cfg.model, cfg.topology, placement,
+                                     cfg.tokens_per_step, cfg.seq_len))
+
+    return trace, engines
+
+
+def _replay_time(engines, trace, mode: str, iters: int) -> float:
+    """Min-of-``iters`` wall time of replaying the trace on both engines."""
+    best = float("inf")
+    for _ in range(iters):
+        mw, ep = engines()
+        start = time.perf_counter()
+        mw.run_trace(trace, mode=mode)
+        ep.run_trace(trace, mode=mode)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def max_divergence(engines, trace) -> float:
+    """Max relative divergence of any StepMetrics field between the modes."""
+    worst = 0.0
+    for engine in engines():
+        ref = engine.run_trace(trace, mode="reference")
+        vec = engine.run_trace(trace, mode="vectorized")
+        for a, b in zip(ref.steps, vec.steps):
+            for name in _METRIC_FIELDS:
+                x, y = getattr(a, name), getattr(b, name)
+                if x == y == 0.0:
+                    continue
+                worst = max(worst, abs(x - y) / max(abs(x), abs(y)))
+    return worst
+
+
+def measure_cell(model: str, dataset: str, steps: int) -> dict:
+    """Replay times, speedup, and divergence of one paper cell."""
+    trace, engines = _build_cell(model, dataset, steps)
+    t_ref = _replay_time(engines, trace, "reference", iters=2)
+    t_vec = _replay_time(engines, trace, "vectorized", iters=3)
+    return {
+        "model": model,
+        "dataset": dataset,
+        "steps": steps,
+        "reference_ms": t_ref * 1e3,
+        "vectorized_ms": t_vec * 1e3,
+        "speedup": t_ref / t_vec,
+        "max_divergence": max_divergence(engines, trace),
+    }
+
+
+def measure_cache(num_steps: int, finetune_steps: int) -> dict:
+    """Cold vs cached ``run_full_evaluation`` wall times."""
+    cache_dir = tempfile.mkdtemp(prefix="bench_replay_cache_")
+    try:
+        start = time.perf_counter()
+        cold = run_full_evaluation(num_steps=num_steps,
+                                   finetune_steps=finetune_steps,
+                                   cache_dir=cache_dir)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_full_evaluation(num_steps=num_steps,
+                                   finetune_steps=finetune_steps,
+                                   cache_dir=cache_dir)
+        warm_s = time.perf_counter() - start
+        identical = (cold.render(include_timing=False)
+                     == warm.render(include_timing=False))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "num_steps": num_steps,
+        "finetune_steps": finetune_steps,
+        "cold_s": cold_s,
+        "cached_s": warm_s,
+        "ratio": warm_s / cold_s,
+        "render_identical": identical,
+    }
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------- #
+def test_headline_speedup(benchmark):
+    """Acceptance point: >= 5x replay speedup, < 1e-9 divergence."""
+    model, dataset, steps = HEADLINE_CELL
+    result = benchmark.pedantic(
+        lambda: measure_cell(model, dataset, steps), rounds=1, iterations=1)
+    print(f"\nreplay @ {model}/{dataset} x{steps}: "
+          f"reference {result['reference_ms']:.0f} ms, "
+          f"vectorized {result['vectorized_ms']:.1f} ms, "
+          f"speedup {result['speedup']:.1f}x, "
+          f"divergence {result['max_divergence']:.2e}")
+    assert result["max_divergence"] < EQUIVALENCE_TOL
+    assert result["speedup"] >= HEADLINE_MIN_SPEEDUP, result
+
+
+def test_equivalence_all_cells():
+    """Vectorized and reference replay agree at every paper cell."""
+    for model, dataset, _ in CELLS:
+        trace, engines = _build_cell(model, dataset, 6)
+        divergence = max_divergence(engines, trace)
+        assert divergence < EQUIVALENCE_TOL, (model, dataset, divergence)
+
+
+def test_cached_rerun_fast():
+    """A cached re-run completes in < 10% of the cold-run wall time."""
+    result = measure_cache(num_steps=8, finetune_steps=8)
+    assert result["render_identical"]
+    assert result["ratio"] < CACHE_MAX_RATIO, result
+
+
+# --------------------------------------------------------------------- #
+# standalone runner (JSON artifact)
+# --------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="headline cell + small cache check only (CI)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if the headline misses "
+                             f"{HEADLINE_MIN_SPEEDUP}x or the cache misses "
+                             f"{CACHE_MAX_RATIO:.0%}")
+    args = parser.parse_args(argv)
+
+    cells = [HEADLINE_CELL] if args.smoke else CELLS
+    results = [measure_cell(*cell) for cell in cells]
+    cache = (measure_cache(num_steps=8, finetune_steps=8) if args.smoke
+             else measure_cache(num_steps=24, finetune_steps=40))
+
+    rows = [[f"{r['model']}/{r['dataset']} x{r['steps']}",
+             f"{r['reference_ms']:.0f}",
+             f"{r['vectorized_ms']:.1f}",
+             f"{r['speedup']:.1f}x",
+             f"{r['max_divergence']:.1e}"] for r in results]
+    print(format_table(
+        ["cell", "reference (ms)", "vectorized (ms)", "speedup",
+         "divergence"], rows))
+    print(f"cache: cold {cache['cold_s']:.2f}s -> cached "
+          f"{cache['cached_s']:.2f}s ({cache['ratio']:.1%}), "
+          f"renders identical: {cache['render_identical']}")
+
+    headline = next(r for r in results
+                    if (r["model"], r["dataset"], r["steps"]) == HEADLINE_CELL)
+    payload = {
+        "cells": results,
+        "cache": cache,
+        "headline": {
+            "cell": list(HEADLINE_CELL),
+            "speedup": headline["speedup"],
+            "min_required": HEADLINE_MIN_SPEEDUP,
+            "max_divergence": headline["max_divergence"],
+            "divergence_tolerance": EQUIVALENCE_TOL,
+            "cache_ratio": cache["ratio"],
+            "cache_max_ratio": CACHE_MAX_RATIO,
+        },
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    ok = (headline["max_divergence"] < EQUIVALENCE_TOL
+          and headline["speedup"] >= HEADLINE_MIN_SPEEDUP
+          and cache["ratio"] < CACHE_MAX_RATIO
+          and cache["render_identical"])
+    print(f"headline: {headline['speedup']:.1f}x "
+          f"(required {HEADLINE_MIN_SPEEDUP}x), cache {cache['ratio']:.1%} "
+          f"(max {CACHE_MAX_RATIO:.0%}) -> {'PASS' if ok else 'MISS'}")
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""On-disk result cache for evaluation cells.
+
+``run_full_evaluation(cache_dir=...)`` stores each experiment's result as a
+pickle keyed by a content hash of everything that determines it — model
+configuration, cluster topology, trace seed, and step counts — so repeated
+figure regeneration is near-free while any input change transparently
+invalidates the entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..cluster.topology import ClusterTopology
+
+
+def topology_fingerprint(topology: ClusterTopology) -> Dict[str, Any]:
+    """Content description of a cluster topology (for cache keys)."""
+    return {
+        "num_nodes": topology.num_nodes,
+        "gpus_per_node": topology.gpus_per_node,
+        "master_node": topology.master_node,
+        "master_gpu": topology.master_gpu,
+        "devices": [dataclasses.asdict(w.device) for w in topology.workers],
+        "intra_link": dataclasses.asdict(topology.intra_link),
+        "cross_link": dataclasses.asdict(topology.cross_link),
+        "loopback": dataclasses.asdict(topology.loopback),
+    }
+
+
+def content_key(payload: Dict[str, Any]) -> str:
+    """Stable sha256 of a JSON-serializable payload.
+
+    Keys are sorted and separators fixed so logically equal payloads hash
+    identically regardless of construction order.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle store addressed by content keys, one file per entry."""
+
+    def __init__(self, cache_dir: Path | str):
+        self.root = Path(cache_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None on miss or an unreadable entry."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value (atomic: write temp file, then rename)."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(value, handle)
+        tmp.replace(path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

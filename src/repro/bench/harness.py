@@ -3,20 +3,31 @@
 ``run_full_evaluation`` regenerates all figures' data in one call (used by
 ``examples/`` and to refresh EXPERIMENTS.md); each experiment is also
 individually runnable through ``repro.bench.experiments``.
+
+The harness fans independent cells out over processes (``parallel=N``) and
+memoizes their results on disk (``cache_dir=...``); results are always
+assembled in the fixed ``PAPER_CELLS`` order, so serial, parallel, and
+cached runs render byte-identical reports (modulo the optional timing line).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import dataclasses as _dc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..cluster.presets import paper_cluster
+from .cache import ResultCache, content_key, topology_fingerprint
 from .experiments import (ComparisonExperiment, HeatmapExperiment,
                           LocalityExperiment, run_comparison_experiment,
                           run_heatmap_experiment, run_locality_experiment)
 from .report import format_table, heatmap, percent, series_panel
+from .workloads import MODELS
 
 PAPER_CELLS = [("mixtral", "wikitext"), ("mixtral", "alpaca"),
                ("gritlm", "wikitext"), ("gritlm", "alpaca")]
@@ -57,8 +68,12 @@ class EvaluationReport:
                          percent(exp.time_reduction_vs_ep())])
         return format_table(headers, rows, float_fmt="{:.3f}")
 
-    def render(self) -> str:
-        """Render the report as display text."""
+    def render(self, include_timing: bool = True) -> str:
+        """Render the report as display text.
+
+        ``include_timing=False`` drops the wall-time footer, making output
+        byte-identical across serial, parallel, and cached runs.
+        """
         sections: List[str] = []
         if self.locality is not None:
             loc = self.locality
@@ -85,31 +100,120 @@ class EvaluationReport:
             sections.append(
                 f"normalized entropy {exp.concentration():.3f}, "
                 f"top-2 share {percent(exp.hot_expert_share(2))}")
-        sections.append(f"\n(total evaluation time: {self.elapsed_s:.1f}s)")
+        if include_timing:
+            sections.append(
+                f"\n(total evaluation time: {self.elapsed_s:.1f}s)")
         return "\n".join(sections)
+
+
+HEATMAP_CELLS = [("mixtral", "wikitext"), ("mixtral", "alpaca")]
+
+# A cell spec is (kind, model, dataset); locality has no workload.
+CellSpec = Tuple[str, Optional[str], Optional[str]]
+
+
+def _model_fingerprint(model: str) -> Dict[str, Any]:
+    """Content description of one paper workload's fixed inputs."""
+    return {"model_config": _dc.asdict(MODELS[model]()),
+            "topology": topology_fingerprint(paper_cluster())}
+
+
+def _cell_key(spec: CellSpec, num_steps: int, finetune_steps: int,
+              seed: int, locality_seed: int) -> str:
+    """Cache key of one cell: content hash of everything that determines it."""
+    kind, model, dataset = spec
+    payload: Dict[str, Any] = {"kind": kind, "version": 1}
+    if kind == "locality":
+        payload.update(finetune_steps=finetune_steps, seed=locality_seed)
+    else:
+        payload.update(model=model, dataset=dataset, seed=seed,
+                       **_model_fingerprint(model))
+        if kind == "comparison":
+            payload.update(num_steps=num_steps)
+    return content_key(payload)
+
+
+def _run_cell(spec: CellSpec, num_steps: int, finetune_steps: int,
+              seed: int, locality_seed: int):
+    """Execute one evaluation cell (module-level so it pickles to workers)."""
+    kind, model, dataset = spec
+    if kind == "locality":
+        return run_locality_experiment(finetune_steps=finetune_steps,
+                                       seed=locality_seed)
+    if kind == "comparison":
+        return run_comparison_experiment(model, dataset, num_steps=num_steps,
+                                         seed=seed)
+    if kind == "heatmap":
+        return run_heatmap_experiment(model, dataset, seed=seed)
+    raise ValueError(f"unknown cell kind {kind!r}")
 
 
 def run_full_evaluation(num_steps: int = 60, finetune_steps: int = 80,
                         seed: int = 1, locality_seed: int = 0,
-                        include_locality: bool = True) -> EvaluationReport:
+                        include_locality: bool = True,
+                        parallel: Optional[int] = None,
+                        cache_dir: Optional[Union[str, Path]] = None
+                        ) -> EvaluationReport:
     """Regenerate the data behind every figure in the paper's evaluation.
 
     ``locality_seed`` selects the live tiny model for the Fig. 3 study and is
     pinned separately from the trace-simulation ``seed``: the paper measures
     one specific pre-trained checkpoint, and tiny models pre-trained from
     different seeds land at different gate-confidence levels.
+
+    ``parallel=N`` fans the independent cells out over ``N`` worker
+    processes; ``cache_dir`` memoizes each cell's result on disk, keyed by a
+    content hash of its inputs (see :mod:`repro.bench.cache`).  Results are
+    assembled in the fixed cell order regardless of completion order, so
+    every execution strategy produces the same report.
     """
     start = time.time()
-    report = EvaluationReport()
+    specs: List[CellSpec] = []
     if include_locality:
-        report.locality = run_locality_experiment(
-            finetune_steps=finetune_steps, seed=locality_seed)
-    for model, dataset in PAPER_CELLS:
-        key = f"{model}/{dataset}"
-        report.comparisons[key] = run_comparison_experiment(
-            model, dataset, num_steps=num_steps, seed=seed)
-    for model, dataset in (("mixtral", "wikitext"), ("mixtral", "alpaca")):
-        key = f"{model}/{dataset}"
-        report.heatmaps[key] = run_heatmap_experiment(model, dataset, seed=seed)
+        specs.append(("locality", None, None))
+    specs.extend(("comparison", model, dataset)
+                 for model, dataset in PAPER_CELLS)
+    specs.extend(("heatmap", model, dataset)
+                 for model, dataset in HEATMAP_CELLS)
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: Dict[CellSpec, Any] = {}
+    pending: List[CellSpec] = []
+    for spec in specs:
+        cached = None
+        if cache is not None:
+            cached = cache.get(_cell_key(spec, num_steps, finetune_steps,
+                                         seed, locality_seed))
+        if cached is not None:
+            results[spec] = cached
+        else:
+            pending.append(spec)
+
+    if parallel is not None and parallel > 1 and len(pending) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(parallel, len(pending))) as pool:
+            futures = {spec: pool.submit(_run_cell, spec, num_steps,
+                                         finetune_steps, seed, locality_seed)
+                       for spec in pending}
+            for spec, future in futures.items():
+                results[spec] = future.result()
+    else:
+        for spec in pending:
+            results[spec] = _run_cell(spec, num_steps, finetune_steps, seed,
+                                      locality_seed)
+    if cache is not None:
+        for spec in pending:
+            cache.put(_cell_key(spec, num_steps, finetune_steps, seed,
+                                locality_seed), results[spec])
+
+    report = EvaluationReport()
+    for spec in specs:  # fixed order -> deterministic report
+        kind, model, dataset = spec
+        if kind == "locality":
+            report.locality = results[spec]
+        elif kind == "comparison":
+            report.comparisons[f"{model}/{dataset}"] = results[spec]
+        else:
+            report.heatmaps[f"{model}/{dataset}"] = results[spec]
     report.elapsed_s = time.time() - start
     return report

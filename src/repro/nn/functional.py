@@ -11,7 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, _as_tensor
+from .tensor import Tensor, _as_tensor, _segment_sum_rows
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -136,31 +136,6 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     out_data = x.data * mask
     return Tensor._make(out_data, (x,), lambda g: (g * mask,))
-
-
-def _segment_sum_rows(values: np.ndarray, row_ids: np.ndarray,
-                      num_rows: int) -> np.ndarray:
-    """Sum rows of ``values`` sharing a row id into a ``(num_rows, ...)`` array.
-
-    Equivalent to ``np.add.at(zeros, row_ids, values)`` but vectorized: sort
-    the ids once (skipped when already sorted) and segment-reduce with
-    ``np.add.reduceat``.  ``np.add.at`` falls back to a scalar inner loop and
-    is the single slowest primitive in the MoE dispatch backward.
-    """
-    out = np.zeros((num_rows,) + values.shape[1:], dtype=values.dtype)
-    n = row_ids.shape[0]
-    if n == 0:
-        return out
-    if n > 1 and np.any(row_ids[1:] < row_ids[:-1]):
-        order = np.argsort(row_ids, kind="stable")
-        sorted_ids = row_ids[order]
-        sorted_values = values[order]
-    else:
-        sorted_ids = row_ids
-        sorted_values = values
-    starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
-    out[sorted_ids[starts]] = np.add.reduceat(sorted_values, starts, axis=0)
-    return out
 
 
 def index_select(x: Tensor, row_ids: np.ndarray,

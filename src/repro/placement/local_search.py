@@ -42,12 +42,150 @@ class RefinementReport:
 
 
 class LocalSearchRefiner:
-    """Best-improvement hill climbing over moves and swaps."""
+    """Best-improvement hill climbing over moves and swaps.
 
-    def __init__(self, max_rounds: int = 200):
+    ``mode="vectorized"`` (the default) evaluates every candidate move and
+    swap of a round as numpy delta grids; ``mode="reference"`` keeps the
+    original per-candidate Python scan.  Both visit candidates in the same
+    order with the same strict-improvement tie-breaks, so they apply
+    identical action sequences.
+    """
+
+    MODES = ("vectorized", "reference")
+
+    def __init__(self, max_rounds: int = 200, mode: str = "vectorized"):
         if max_rounds < 0:
             raise ValueError("max_rounds must be non-negative")
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; known: {self.MODES}")
         self.max_rounds = max_rounds
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    # candidate search
+    # ------------------------------------------------------------------ #
+    def _best_action_reference(self, assignment, worker_time, loads, caps,
+                               coef):
+        """One round's best candidate: the original per-candidate scan."""
+        num_workers, layers = worker_time.shape
+        experts = assignment.shape[1]
+        best_delta = -1e-15
+        best_action: Optional[Tuple] = None
+        for l in range(layers):
+            current_max = worker_time[:, l].max()
+            order = np.argsort(-worker_time[:, l])
+            bottleneck = order[0]
+            # moves: take an expert off the bottleneck worker
+            for e in range(experts):
+                if assignment[l, e] != bottleneck:
+                    continue
+                for target in range(num_workers):
+                    if target == bottleneck or loads[target] >= caps[target]:
+                        continue
+                    new_src = worker_time[bottleneck, l] - \
+                        coef[bottleneck, l, e]
+                    new_dst = worker_time[target, l] + coef[target, l, e]
+                    others = max((worker_time[n, l]
+                                  for n in range(num_workers)
+                                  if n not in (bottleneck, target)),
+                                 default=0.0)
+                    new_max = max(new_src, new_dst, others)
+                    delta = current_max - new_max
+                    if delta > best_delta:
+                        best_delta = delta
+                        best_action = ("move", l, e, bottleneck, target)
+            # swaps: exchange a bottleneck expert with another worker's
+            for e in range(experts):
+                if assignment[l, e] != bottleneck:
+                    continue
+                for e2 in range(experts):
+                    other = assignment[l, e2]
+                    if other == bottleneck:
+                        continue
+                    new_src = worker_time[bottleneck, l] \
+                        - coef[bottleneck, l, e] + coef[bottleneck, l, e2]
+                    new_dst = worker_time[other, l] \
+                        - coef[other, l, e2] + coef[other, l, e]
+                    others_max = max((worker_time[n, l]
+                                      for n in range(num_workers)
+                                      if n not in (bottleneck, other)),
+                                     default=0.0)
+                    new_max = max(new_src, new_dst, others_max)
+                    delta = current_max - new_max
+                    if delta > best_delta:
+                        best_delta = delta
+                        best_action = ("swap", l, e, bottleneck, e2, other)
+        return best_delta, best_action
+
+    def _best_action_vectorized(self, assignment, worker_time, loads, caps,
+                                coef):
+        """One round's best candidate, as per-layer numpy delta grids.
+
+        Candidate order (layers ascending; per layer all moves in (expert,
+        target) row-major order, then all swaps in (expert, expert) row-major
+        order) and strict-``>`` tie-breaking match the reference scan, so the
+        same action wins.
+        """
+        num_workers, layers = worker_time.shape
+        best_delta = -1e-15
+        best_action: Optional[Tuple] = None
+        worker_ids = np.arange(num_workers)
+        for l in range(layers):
+            wt = worker_time[:, l]
+            current_max = wt.max()
+            order = np.argsort(-wt)
+            bottleneck = order[0]
+            # Max over workers excluding {bottleneck, x} for any second
+            # exclusion x: the runner-up unless x *is* the runner-up, then
+            # the third-best (0.0 when fewer than three workers exist).
+            runner_up = wt[order[1]] if num_workers > 1 else 0.0
+            third = wt[order[2]] if num_workers > 2 else 0.0
+
+            def others_excluding(x):
+                return np.where(order[1] == x, third, runner_up)
+
+            src_experts = np.flatnonzero(assignment[l] == bottleneck)
+            coef_l = coef[:, l, :]                        # (N, E)
+
+            # moves: (src expert, target worker) grid
+            targets = np.flatnonzero((worker_ids != bottleneck)
+                                     & (loads < caps))
+            if src_experts.size and targets.size:
+                new_src = wt[bottleneck] - coef_l[bottleneck, src_experts]
+                new_dst = wt[targets][None, :] + \
+                    coef_l[targets][:, src_experts].T     # (Eb, T)
+                new_max = np.maximum(np.maximum(new_src[:, None], new_dst),
+                                     others_excluding(targets)[None, :])
+                delta = current_max - new_max
+                flat = int(np.argmax(delta))
+                cand = float(delta.reshape(-1)[flat])
+                if cand > best_delta:
+                    e = int(src_experts[flat // targets.size])
+                    target = int(targets[flat % targets.size])
+                    best_delta = cand
+                    best_action = ("move", l, e, bottleneck, target)
+
+            # swaps: (src expert, other-worker expert) grid
+            other_experts = np.flatnonzero(assignment[l] != bottleneck)
+            if src_experts.size and other_experts.size:
+                owners = assignment[l, other_experts]
+                new_src = (wt[bottleneck]
+                           - coef_l[bottleneck, src_experts][:, None]
+                           + coef_l[bottleneck, other_experts][None, :])
+                new_dst = (wt[owners] - coef_l[owners, other_experts])[None, :] \
+                    + coef_l[owners][:, src_experts].T    # (Eb, Eo)
+                new_max = np.maximum(np.maximum(new_src, new_dst),
+                                     others_excluding(owners)[None, :])
+                delta = current_max - new_max
+                flat = int(np.argmax(delta))
+                cand = float(delta.reshape(-1)[flat])
+                if cand > best_delta:
+                    e = int(src_experts[flat // other_experts.size])
+                    e2 = int(other_experts[flat % other_experts.size])
+                    best_delta = cand
+                    best_action = ("swap", l, e, bottleneck, e2,
+                                   int(assignment[l, e2]))
+        return best_delta, best_action
 
     def refine(self, placement: Placement,
                problem: PlacementProblem) -> RefinementReport:
@@ -65,58 +203,13 @@ class LocalSearchRefiner:
             for e in range(experts):
                 worker_time[assignment[l, e], l] += coef[assignment[l, e], l, e]
 
-        def layer_max(l: int) -> float:
-            return worker_time[:, l].max()
-
+        search = (self._best_action_vectorized if self.mode == "vectorized"
+                  else self._best_action_reference)
         initial = float(worker_time.max(axis=0).sum())
         moves = swaps = 0
         for _ in range(self.max_rounds):
-            best_delta = -1e-15
-            best_action: Optional[Tuple] = None
-            for l in range(layers):
-                current_max = layer_max(l)
-                order = np.argsort(-worker_time[:, l])
-                bottleneck = order[0]
-                # moves: take an expert off the bottleneck worker
-                for e in range(experts):
-                    if assignment[l, e] != bottleneck:
-                        continue
-                    for target in range(num_workers):
-                        if target == bottleneck or loads[target] >= caps[target]:
-                            continue
-                        new_src = worker_time[bottleneck, l] - \
-                            coef[bottleneck, l, e]
-                        new_dst = worker_time[target, l] + coef[target, l, e]
-                        others = max((worker_time[n, l]
-                                      for n in range(num_workers)
-                                      if n not in (bottleneck, target)),
-                                     default=0.0)
-                        new_max = max(new_src, new_dst, others)
-                        delta = current_max - new_max
-                        if delta > best_delta:
-                            best_delta = delta
-                            best_action = ("move", l, e, bottleneck, target)
-                # swaps: exchange a bottleneck expert with another worker's
-                for e in range(experts):
-                    if assignment[l, e] != bottleneck:
-                        continue
-                    for e2 in range(experts):
-                        other = assignment[l, e2]
-                        if other == bottleneck:
-                            continue
-                        new_src = worker_time[bottleneck, l] \
-                            - coef[bottleneck, l, e] + coef[bottleneck, l, e2]
-                        new_dst = worker_time[other, l] \
-                            - coef[other, l, e2] + coef[other, l, e]
-                        others_max = max((worker_time[n, l]
-                                          for n in range(num_workers)
-                                          if n not in (bottleneck, other)),
-                                         default=0.0)
-                        new_max = max(new_src, new_dst, others_max)
-                        delta = current_max - new_max
-                        if delta > best_delta:
-                            best_delta = delta
-                            best_action = ("swap", l, e, bottleneck, e2, other)
+            best_delta, best_action = search(assignment, worker_time, loads,
+                                             caps, coef)
             if best_action is None or best_delta <= 1e-15:
                 break
             if best_action[0] == "move":

@@ -50,6 +50,43 @@ class DispatchPlan:
         return self.tokens[:, layer] * self.token_bytes
 
 
+@dataclass
+class TracePlan:
+    """Planned data movement for a whole trace replay.
+
+    ``tokens`` has shape ``(steps, workers, layers)`` — every step's
+    ``K[n, l]`` tensor at once, the input the vectorized engines reduce over
+    without per-step Python loops.
+    """
+
+    tokens: np.ndarray
+    token_bytes: float
+
+    @property
+    def num_steps(self) -> int:
+        """Number of planned steps."""
+        return self.tokens.shape[0]
+
+    @property
+    def num_workers(self) -> int:
+        """Worker process count."""
+        return self.tokens.shape[1]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of MoE blocks."""
+        return self.tokens.shape[2]
+
+    def step_plan(self, step: int) -> DispatchPlan:
+        """The single-step :class:`DispatchPlan` view of one step."""
+        return DispatchPlan(tokens=self.tokens[step],
+                            token_bytes=self.token_bytes)
+
+    def bytes(self) -> np.ndarray:
+        """One-direction payloads, shape ``(steps, workers, layers)``."""
+        return self.tokens * self.token_bytes
+
+
 class ExpertBroker:
     """Plans master<->worker data movement for a placement."""
 
@@ -75,6 +112,26 @@ class ExpertBroker:
         tokens = self.placement.tokens_per_worker(step_counts, self.num_workers)
         return DispatchPlan(tokens=tokens,
                             token_bytes=self.config.token_feature_nbytes())
+
+    def plan_trace(self, trace_counts: np.ndarray) -> TracePlan:
+        """Build the dispatch plans for every step of a trace at once.
+
+        ``trace_counts`` is the ``(steps, layers, experts)`` count tensor of
+        a :class:`~repro.routing.trace.RoutingTrace`.  The result equals
+        stacking :meth:`plan_step` over steps but runs as a single einsum
+        against the placement's binary tensor ``X[n, l, e]`` (Eq. (6)
+        batched over the whole trace).
+        """
+        trace_counts = np.asarray(trace_counts)
+        expected = (self.config.num_layers, self.config.num_experts)
+        if trace_counts.ndim != 3 or trace_counts.shape[1:] != expected:
+            raise ValueError(f"trace_counts shape {trace_counts.shape} != "
+                             f"(steps, {expected[0]}, {expected[1]})")
+        x = self.placement.to_binary_tensor(self.num_workers)
+        tokens = np.einsum("sle,nle->snl", trace_counts,
+                           x.astype(np.int64), optimize=True)
+        return TracePlan(tokens=tokens,
+                         token_bytes=self.config.token_feature_nbytes())
 
     def messages_for_layer(self, plan: DispatchPlan, layer: int,
                            kind: MessageKind, step: int = -1) -> List[Message]:

@@ -24,8 +24,10 @@ import numpy as np
 from ..cluster.topology import ClusterTopology
 from ..models.config import MoEModelConfig
 from ..placement.base import Placement
+from ..routing.trace import RoutingTrace
 from .broker import ExpertBroker
-from .engine import lora_backbone_param_count, lora_expert_param_count
+from .engine import (fork_join_span_arrays, lora_backbone_param_count,
+                     lora_expert_param_count, resolve_trace_mode)
 from .events import LinkResource, Simulator
 from .flops import FlopModel
 
@@ -151,6 +153,69 @@ class EventDrivenMasterWorker:
             layer_finish_times=layer_finish,
             events_processed=sim.events_processed,
             master_egress_busy={k: r.busy_time for k, r in egress.items()})
+
+    # ------------------------------------------------------------------ #
+    default_trace_mode = "vectorized"
+
+    def run_trace(self, trace: RoutingTrace, max_steps: Optional[int] = None,
+                  mode: Optional[str] = None) -> List[DESStepResult]:
+        """Execute every step of a routing trace.
+
+        With unlimited master egress (``nic_contention=False``) the
+        event-driven step is closed-form — layer finishes are running sums of
+        backbone + fork-join span — so ``mode="vectorized"`` (the default)
+        computes all steps as batched cumulative sums.  Contended runs always
+        take the per-step event loop: FIFO occupancy is genuinely sequential.
+        """
+        mode = resolve_trace_mode(mode, self.default_trace_mode)
+        limit = trace.num_steps if max_steps is None else min(max_steps,
+                                                              trace.num_steps)
+        if mode == "reference" or self.nic_contention:
+            return [self.run_step(trace.step_counts(step))
+                    for step in range(limit)]
+        return self._run_trace_vectorized(trace, limit)
+
+    def _run_trace_vectorized(self, trace: RoutingTrace,
+                              limit: int) -> List[DESStepResult]:
+        plan = self.broker.plan_trace(trace.counts[:limit])
+        spans = fork_join_span_arrays(self.topology, self.flops, plan.tokens,
+                                      plan.token_bytes)
+        layers = self.config.num_layers
+        tokens = float(self.tokens_per_step)
+        bf = self.flops.backbone_layer_time(self.master_device, tokens,
+                                            self.seq_len)
+        bb = self.flops.backbone_layer_time(self.master_device, tokens,
+                                            self.seq_len, backward=True)
+        heads = (self.flops.head_time(self.master_device, tokens)
+                 + self.flops.head_time(self.master_device, tokens,
+                                        backward=True))
+        optimizer = self.flops.optimizer_time(
+            self.master_device, lora_backbone_param_count(self.config,
+                                                          self.lora_rank))
+        worker_opt = max(
+            self.flops.optimizer_time(
+                w.device, lora_expert_param_count(self.config, self.lora_rank)
+                * int(load))
+            for w, load in zip(self.topology.workers,
+                               self.placement.worker_loads(
+                                   self.topology.num_workers)))
+
+        forward_finish = np.cumsum(bf + spans["span_f"], axis=1)   # (S, L)
+        backward_start = forward_finish[:, -1] + heads
+        backward_finish = backward_start[:, None] + \
+            np.cumsum(bb + spans["span_b"], axis=1)
+        totals = backward_finish[:, -1] + optimizer + worker_opt
+
+        results = []
+        for step in range(limit):
+            finishes = np.concatenate([forward_finish[step],
+                                       backward_finish[step]])
+            results.append(DESStepResult(
+                total_time=float(totals[step]),
+                layer_finish_times=[float(t) for t in finishes],
+                events_processed=2 * layers,
+                master_egress_busy={"nic": 0.0, "pcie": 0.0}))
+        return results
 
 
 def contention_penalty(config: MoEModelConfig, topology: ClusterTopology,

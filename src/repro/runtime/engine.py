@@ -14,11 +14,22 @@ the paper says they differ (Section V-B):
   each block requires a status synchronization followed by a synchronized
   all-to-all in each direction, and the step ends with an all-reduce over
   the replicated trainable parameters.
+
+Both engines replay traces in one of two modes:
+
+* ``mode="vectorized"`` (default): the whole trace is planned at once
+  (:meth:`ExpertBroker.plan_trace`) and every per-(step, layer, worker)
+  quantity — fork-join spans, backbone times, all-to-all and all-reduce
+  costs — is reduced as batched numpy operations with no Python loops over
+  steps or workers.
+* ``mode="reference"``: the original per-step loop, kept as the
+  equivalence oracle (``benchmarks/bench_replay.py`` asserts the two agree
+  and reports the speedup).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -30,10 +41,72 @@ from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..routing.trace import RoutingTrace
 from .broker import ExpertBroker
-from .flops import FlopModel
+from .flops import BACKWARD_MULTIPLIER, FlopModel
 from .master import MasterProcess
 from .metrics import RunMetrics, StepMetrics
 from .worker import WorkerProcess
+
+TRACE_MODES = ("vectorized", "reference")
+
+
+def resolve_trace_mode(mode: Optional[str], default: str) -> str:
+    """Validate a replay ``mode`` argument (None selects the default)."""
+    mode = default if mode is None else mode
+    if mode not in TRACE_MODES:
+        raise ValueError(f"unknown replay mode {mode!r}; known: {TRACE_MODES}")
+    return mode
+
+
+def fork_join_span_arrays(topology: ClusterTopology, flops: FlopModel,
+                          trace_tokens: np.ndarray,
+                          token_bytes: float) -> Dict[str, np.ndarray]:
+    """Batched fork-join spans for a whole trace replay.
+
+    ``trace_tokens`` is a :meth:`ExpertBroker.plan_trace` token tensor of
+    shape ``(steps, workers, layers)``.  For each (step, layer) the span is
+    the slowest worker chain ``dispatch -> expert compute -> gather``
+    (workers with zero tokens are skipped), exactly the per-step
+    :meth:`MasterWorkerEngine._layer_span` — computed for every step and
+    layer at once.
+
+    Returns ``(steps, layers)`` arrays ``span_f/span_b`` (forward/backward
+    spans), ``comm_f/comm_b`` and ``comp_f/comp_b`` (the comm and compute
+    attribution of each span's slowest chain), plus per-worker aggregates
+    ``worker_forward``, ``worker_backward`` (compute seconds summed over the
+    replay) and ``worker_tokens`` (forward tokens processed).
+    """
+    num_workers = topology.num_workers
+    lat = np.array([topology.master_link(w).latency_s
+                    for w in range(num_workers)])[None, :, None]
+    bw = np.array([topology.master_link(w).bandwidth_bytes_per_s
+                   for w in range(num_workers)])[None, :, None]
+    dev = np.array([w.device.effective_flops
+                    for w in topology.workers])[None, :, None]
+
+    tokens = trace_tokens.astype(np.float64)        # (S, N, L)
+    mask = trace_tokens > 0
+    transfer = lat + (tokens * token_bytes) / bw    # one direction
+    base_flops = flops.expert_forward_flops() * tokens
+    comp_f = base_flops / dev
+    comp_b = (base_flops * BACKWARD_MULTIPLIER) / dev
+
+    out: Dict[str, np.ndarray] = {
+        "worker_forward": np.where(mask, comp_f, 0.0).sum(axis=(0, 2)),
+        "worker_backward": np.where(mask, comp_b, 0.0).sum(axis=(0, 2)),
+        "worker_tokens": np.where(mask, tokens, 0.0).sum(axis=(0, 2)),
+    }
+    for suffix, comp in (("f", comp_f), ("b", comp_b)):
+        chain = np.where(mask, transfer + comp + transfer, 0.0)
+        span = chain.max(axis=1)                    # (S, L)
+        idx = chain.argmax(axis=1)[:, None, :]      # first max == reference
+        sel_transfer = np.take_along_axis(transfer, idx, axis=1)[:, 0, :]
+        sel_comp = np.take_along_axis(comp, idx, axis=1)[:, 0, :]
+        active = span > 0
+        out[f"span_{suffix}"] = span
+        out[f"comm_{suffix}"] = np.where(active, sel_transfer + sel_transfer,
+                                         0.0)
+        out[f"comp_{suffix}"] = np.where(active, sel_comp, 0.0)
+    return out
 
 
 def lora_backbone_param_count(config: MoEModelConfig, rank: int = 8) -> int:
@@ -144,14 +217,91 @@ class MasterWorkerEngine:
                            cross_node_bytes=cross,
                            num_nodes=self.topology.num_nodes)
 
-    def run_trace(self, trace: RoutingTrace,
-                  max_steps: Optional[int] = None) -> RunMetrics:
-        """Replay every step of a routing trace."""
-        run = RunMetrics(strategy=self.strategy_name)
+    default_trace_mode = "vectorized"
+
+    def run_trace(self, trace: RoutingTrace, max_steps: Optional[int] = None,
+                  mode: Optional[str] = None) -> RunMetrics:
+        """Replay every step of a routing trace.
+
+        ``mode`` selects the batched numpy replay (``"vectorized"``, the
+        default) or the original per-step loop (``"reference"``).
+        """
+        mode = resolve_trace_mode(mode, self.default_trace_mode)
         limit = trace.num_steps if max_steps is None else min(max_steps,
                                                               trace.num_steps)
+        if mode == "reference":
+            run = RunMetrics(strategy=self.strategy_name)
+            for step in range(limit):
+                run.append(self.run_step(trace.step_counts(step), step=step))
+            return run
+        return self._run_trace_vectorized(trace, limit)
+
+    # ------------------------------------------------------------------ #
+    # vectorized replay
+    # ------------------------------------------------------------------ #
+    def _vectorized_core_total(self, spans: Dict[str, np.ndarray], bf: float,
+                               bb: float, head: float) -> np.ndarray:
+        """Per-step time before the optimizer tail, shape ``(steps,)``."""
+        num_layers = self.config.num_layers
+        return (num_layers * (bf + bb) + head
+                + spans["span_f"].sum(axis=1) + spans["span_b"].sum(axis=1))
+
+    def _run_trace_vectorized(self, trace: RoutingTrace,
+                              limit: int) -> RunMetrics:
+        plan = self.broker.plan_trace(trace.counts[:limit])
+        spans = fork_join_span_arrays(self.topology, self.flops, plan.tokens,
+                                      plan.token_bytes)
+        num_layers = self.config.num_layers
+        tokens = float(self.tokens_per_step)
+        device = self.master.device
+        bf = self.flops.backbone_layer_time(device, tokens, self.seq_len)
+        bb = self.flops.backbone_layer_time(device, tokens, self.seq_len,
+                                            backward=True)
+        head = (self.flops.head_time(device, tokens)
+                + self.flops.head_time(device, tokens, backward=True))
+        optimizer = self.flops.optimizer_time(
+            device, lora_backbone_param_count(self.config, self.lora_rank))
+        per_expert = lora_expert_param_count(self.config, self.lora_rank)
+        worker_opts = np.array([
+            self.flops.optimizer_time(w.device,
+                                      per_expert * w.num_hosted_experts)
+            for w in self.workers])
+        tail = optimizer + float(worker_opts.max())
+
+        total = self._vectorized_core_total(spans, bf, bb, head) + tail
+        comm = spans["comm_f"].sum(axis=1) + spans["comm_b"].sum(axis=1)
+        compute = (num_layers * (bf + bb) + spans["comp_f"].sum(axis=1)
+                   + spans["comp_b"].sum(axis=1) + head + tail)
+
+        # Byte accounting == CommCostModel.step_bytes_per_worker, batched.
+        bytes_per_worker = 4.0 * (plan.token_bytes
+                                  * plan.tokens.sum(axis=2))   # (S, N)
+        total_bytes = bytes_per_worker.sum(axis=1)
+        cross_mask = np.array(
+            [self.topology.is_cross_node_from_master(w)
+             for w in range(self.topology.num_workers)])
+        cross = bytes_per_worker[:, cross_mask].sum(axis=1)
+
+        # Process bookkeeping, identical to the per-step loop's accumulation.
+        self.master.stats.compute_time += limit * (num_layers * (bf + bb)
+                                                   + head + optimizer)
+        self.master.stats.steps += limit
+        for n, worker in enumerate(self.workers):
+            worker.stats.compute_time += (spans["worker_forward"][n]
+                                          + spans["worker_backward"][n]
+                                          + limit * worker_opts[n])
+            worker.stats.tokens_processed += spans["worker_tokens"][n]
+            worker.stats.steps += limit
+
+        run = RunMetrics(strategy=self.strategy_name)
         for step in range(limit):
-            run.append(self.run_step(trace.step_counts(step), step=step))
+            run.append(StepMetrics(
+                step=step, total_time=float(total[step]),
+                comm_time=float(comm[step]), compute_time=float(compute[step]),
+                sync_time=0.0, allreduce_time=0.0,
+                total_bytes=float(total_bytes[step]),
+                cross_node_bytes=float(cross[step]),
+                num_nodes=self.topology.num_nodes))
         return run
 
 
@@ -185,6 +335,7 @@ class ExpertParallelEngine:
         self.sync_software_overhead_s = sync_software_overhead_s
         self.flops = FlopModel(config)
         self.token_bytes = config.token_feature_nbytes()
+        self.broker = ExpertBroker(config, placement, topology.num_workers)
         # Replicated phases end at a barrier, so the slowest device gates
         # every data-parallel compute step; expert compute is per-owner.
         self.device = topology.device
@@ -266,12 +417,114 @@ class ExpertParallelEngine:
         return sum(1 for w in range(n)
                    if self.topology.is_cross_node(w, (w + 1) % n))
 
-    def run_trace(self, trace: RoutingTrace,
-                  max_steps: Optional[int] = None) -> RunMetrics:
-        """Replay every step of a routing trace."""
-        run = RunMetrics(strategy=self.strategy_name)
+    default_trace_mode = "vectorized"
+
+    def run_trace(self, trace: RoutingTrace, max_steps: Optional[int] = None,
+                  mode: Optional[str] = None) -> RunMetrics:
+        """Replay every step of a routing trace.
+
+        ``mode`` selects the batched numpy replay (``"vectorized"``, the
+        default) or the original per-step loop (``"reference"``).
+        """
+        mode = resolve_trace_mode(mode, self.default_trace_mode)
         limit = trace.num_steps if max_steps is None else min(max_steps,
                                                               trace.num_steps)
+        if mode == "reference":
+            run = RunMetrics(strategy=self.strategy_name)
+            for step in range(limit):
+                run.append(self.run_step(trace.step_counts(step), step=step))
+            return run
+        return self._run_trace_vectorized(trace, limit)
+
+    def _worker_pair_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-diagonal ``(N, N)`` latency and inverse-bandwidth matrices."""
+        n = self.topology.num_workers
+        lat = np.zeros((n, n))
+        inv_bw = np.zeros((n, n))
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                link = self.topology.worker_link(a, b)
+                lat[a, b] = link.latency_s
+                inv_bw[a, b] = 1.0 / link.bandwidth_bytes_per_s
+        return lat, inv_bw
+
+    def _run_trace_vectorized(self, trace: RoutingTrace,
+                              limit: int) -> RunMetrics:
+        config = self.config
+        n = self.topology.num_workers
+        num_layers = config.num_layers
+        shard_tokens = self.tokens_per_step / n
+        sync_unit = status_sync_time(self.topology) + \
+            self.sync_software_overhead_s
+
+        plan = self.broker.plan_trace(trace.counts[:limit])
+        # Per-destination payload of the uniform-shard all-to-all: the byte
+        # matrix of `_byte_matrix` has identical rows, so one (S, L, N) slab
+        # carries every step's matrices at once.
+        dest_tokens = plan.tokens.transpose(0, 2, 1).astype(np.float64)
+        payload = dest_tokens / n * self.token_bytes          # (S, L, N)
+        present = (payload > 0).astype(np.float64)
+
+        lat, inv_bw = self._worker_pair_arrays()
+        # Dispatch: source `src` serializes sends of payload[dst] to every
+        # other device; collective time is the slowest source.
+        send_time = present @ lat.T + payload @ inv_bw.T      # (S, L, src)
+        dispatch = send_time.max(axis=2)
+        # Gather is the transposed matrix: source `src` sends payload[src]
+        # to every other device over its own outgoing links.
+        gather_time = present * (lat.sum(axis=1)[None, None, :]
+                                 + payload * inv_bw.sum(axis=1)[None, None, :])
+        gather = gather_time.max(axis=2)
+
+        dev = np.array([d.effective_flops for d in self.worker_devices])
+        # matrix.sum(axis=0) / token_bytes == n * payload / token_bytes
+        expert_tokens = payload * n / self.token_bytes
+        expert = ((self.flops.expert_forward_flops() * expert_tokens)
+                  / dev[None, None, :]).max(axis=2)           # forward pass
+
+        backbone = self.flops.backbone_layer_time(self.slowest_device,
+                                                  shard_tokens, self.seq_len)
+        head = 3.0 * self.flops.head_time(self.slowest_device, shard_tokens)
+        trainable = lora_backbone_param_count(config, self.lora_rank)
+        grad_bytes = trainable * 4.0
+        allreduce = ring_all_reduce_time(grad_bytes, self.topology)
+        optimizer = self.flops.optimizer_time(self.slowest_device, trainable)
+
+        # Forward + backward pass: the byte matrix is identical, backbone and
+        # expert compute double (BACKWARD_MULTIPLIER), comm repeats.
+        dispatch_sum = dispatch.sum(axis=1)
+        gather_sum = gather.sum(axis=1)
+        expert_sum = expert.sum(axis=1)
+        comm = 2.0 * (dispatch_sum + gather_sum)
+        sync = 2.0 * num_layers * sync_unit
+        compute = 3.0 * backbone * num_layers + 3.0 * expert_sum \
+            + head + optimizer
+        total = (3.0 * backbone + 2.0 * sync_unit) * num_layers \
+            + 2.0 * dispatch_sum + 3.0 * expert_sum + 2.0 * gather_sum \
+            + head + allreduce + optimizer
+
+        # Byte accounting: off-diagonal payload per pass (x2 directions, x2
+        # passes) plus the ring all-reduce volume.
+        payload_sum = payload.sum(axis=2)                     # (S, L)
+        total_bytes = 4.0 * ((n - 1) * payload_sum).sum(axis=1)
+        cross_count = np.array([
+            sum(1 for src in range(n)
+                if src != dst and self.topology.is_cross_node(src, dst))
+            for dst in range(n)], dtype=np.float64)
+        cross = 4.0 * (payload @ cross_count).sum(axis=1)
+        ring_edge_bytes = 2.0 * (n - 1) / n * grad_bytes
+        total_bytes = total_bytes + ring_edge_bytes * n
+        cross = cross + ring_edge_bytes * self._ring_cross_edges()
+
+        run = RunMetrics(strategy=self.strategy_name)
         for step in range(limit):
-            run.append(self.run_step(trace.step_counts(step), step=step))
+            run.append(StepMetrics(
+                step=step, total_time=float(total[step]),
+                comm_time=float(comm[step]), compute_time=float(compute[step]),
+                sync_time=float(sync), allreduce_time=float(allreduce),
+                total_bytes=float(total_bytes[step]),
+                cross_node_bytes=float(cross[step]),
+                num_nodes=self.topology.num_nodes))
         return run

@@ -39,6 +39,22 @@ from .metrics import RunMetrics, StepMetrics
 class OverlappedMasterWorkerEngine(MasterWorkerEngine):
     """Master-worker runtime with overlapped backward expert exchanges."""
 
+    def _vectorized_core_total(self, spans, bf, bb, head):
+        """Overlapped per-step time before the optimizer tail.
+
+        The master's backward chain advances by one backbone time per block
+        (layers visited in reverse); each block's expert round-trip starts at
+        the master's current clock and finishes independently.  The step ends
+        when both the chain and the slowest outstanding round-trip complete.
+        """
+        num_layers = self.config.num_layers
+        t_fwd = num_layers * bf + spans["span_f"].sum(axis=1) + head
+        offsets = np.arange(num_layers) * bb
+        candidates = t_fwd[:, None] + offsets[None, :] \
+            + spans["span_b"][:, ::-1]
+        outstanding = np.maximum(t_fwd, candidates.max(axis=1))
+        return np.maximum(t_fwd + num_layers * bb, outstanding)
+
     def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
         """Simulate one fine-tuning step; returns its metrics."""
         plan = self.broker.plan_step(step_counts)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.bench import (EvaluationReport, run_comparison_experiment,
-                         run_heatmap_experiment)
+                         run_heatmap_experiment, run_full_evaluation)
+from repro.bench.cache import ResultCache, content_key
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +40,65 @@ class TestEvaluationReport:
 
     def test_elapsed_reported(self, mini_report):
         assert "2.5s" in mini_report.render()
+
+    def test_render_can_drop_timing(self, mini_report):
+        text = mini_report.render(include_timing=False)
+        assert "2.5s" not in text
+        assert "total evaluation time" not in text
+        assert "Fig. 5" in text
+
+
+class TestCachedEvaluation:
+    STEPS = dict(num_steps=2, finetune_steps=4, include_locality=False)
+
+    def test_cache_round_trip_is_deterministic(self, tmp_path):
+        cache_dir = tmp_path / "cells"
+        cold = run_full_evaluation(cache_dir=cache_dir, **self.STEPS)
+        assert len(ResultCache(cache_dir)) > 0
+        warm = run_full_evaluation(cache_dir=cache_dir, **self.STEPS)
+        assert (warm.render(include_timing=False)
+                == cold.render(include_timing=False))
+
+    def test_cache_key_separates_params(self, tmp_path):
+        cache_dir = tmp_path / "cells"
+        run_full_evaluation(cache_dir=cache_dir, **self.STEPS)
+        populated = len(ResultCache(cache_dir))
+        run_full_evaluation(cache_dir=cache_dir, num_steps=3,
+                            finetune_steps=4, include_locality=False)
+        assert len(ResultCache(cache_dir)) > populated
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_full_evaluation(**self.STEPS)
+        fanned = run_full_evaluation(parallel=2, **self.STEPS)
+        assert (fanned.render(include_timing=False)
+                == serial.render(include_timing=False))
+
+    def test_uncached_without_cache_dir(self, tmp_path):
+        report = run_full_evaluation(**self.STEPS)
+        assert not list(tmp_path.iterdir())
+        assert "Fig. 5" in report.render()
+
+
+class TestResultCache:
+    def test_content_key_order_insensitive(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_get_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"cell": "demo"})
+        assert cache.get(key) is None
+        cache.put(key, {"value": 41})
+        assert cache.get(key) == {"value": 41}
+        assert key in cache
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"cell": "demo"})
+        cache.put(key, [1, 2, 3])
+        (path,) = tmp_path.iterdir()
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
 
 
 class TestCLIEvaluate:

@@ -185,6 +185,33 @@ class TestShapeGradients:
         np.testing.assert_array_equal(a.grad[1], [2.0, 2.0])
         np.testing.assert_array_equal(a.grad[0], [0.0, 0.0])
 
+    def test_getitem_fast_path_matches_add_at(self):
+        """The sorted segment-reduce backward equals the np.add.at scatter."""
+        rng = np.random.default_rng(7)
+        idx = rng.integers(0, 5, size=32)  # unsorted, with duplicates
+        g = rng.normal(size=(32, 3))
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        (a[idx] * g).sum().backward()
+        expected = np.zeros((5, 3))
+        np.add.at(expected, idx, g)
+        np.testing.assert_allclose(a.grad, expected, rtol=1e-12)
+
+    def test_getitem_fast_path_gradcheck(self):
+        idx = np.array([3, 0, 3, 1, 1, 3])
+        grad_check(lambda a: a[idx], (4, 2))
+
+    def test_getitem_negative_rows(self):
+        """Negative ids alias positive ones, so they must accumulate."""
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        a[np.array([-1, 2, 0])].sum().backward()
+        np.testing.assert_array_equal(a.grad[2], [2.0, 2.0])
+        np.testing.assert_array_equal(a.grad[0], [1.0, 1.0])
+        grad_check(lambda a: a[np.array([-1, 1, -2])], (3, 2))
+
+    def test_getitem_2d_index(self):
+        idx = np.array([[0, 1], [1, 2]])
+        grad_check(lambda a: a[idx], (3, 2))
+
     def test_slice(self):
         grad_check(lambda a: a[1:3], (5, 2))
 

@@ -68,6 +68,46 @@ class TestRefiner:
         assert placement.name.endswith("+ls")
 
 
+class TestModeEquivalence:
+    def _assert_same_refinement(self, start, problem):
+        ref = LocalSearchRefiner(mode="reference").refine(start, problem)
+        vec = LocalSearchRefiner(mode="vectorized").refine(start, problem)
+        np.testing.assert_array_equal(vec.placement.assignment,
+                                      ref.placement.assignment)
+        assert vec.refined_objective == ref.refined_objective
+        assert vec.moves_applied == ref.moves_applied
+        assert vec.swaps_applied == ref.swaps_applied
+
+    def test_identical_on_small_problem(self, small_problem):
+        self._assert_same_refinement(
+            SequentialPlacement().place(small_problem), small_problem)
+
+    def test_identical_with_tight_capacities(self, nano_config,
+                                             small_topology,
+                                             small_probability):
+        """Exactly-tight capacities forbid every move, so the search must
+        swap — both modes must pick the identical swap sequence."""
+        problem = PlacementProblem(config=nano_config,
+                                   topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   tokens_per_step=512,
+                                   capacities=[2, 2, 2, 2])
+        start = SequentialPlacement().place(problem)
+        ref = LocalSearchRefiner(mode="reference").refine(start, problem)
+        vec = LocalSearchRefiner(mode="vectorized").refine(start, problem)
+        np.testing.assert_array_equal(vec.placement.assignment,
+                                      ref.placement.assignment)
+        assert vec.swaps_applied == ref.swaps_applied > 0
+        assert vec.moves_applied == ref.moves_applied == 0
+
+    def test_default_mode_is_vectorized(self):
+        assert LocalSearchRefiner().mode == "vectorized"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LocalSearchRefiner(mode="greedy")
+
+
 class TestMovesWithSlack:
     def test_moves_applied_when_capacity_allows(self, nano_config,
                                                 small_topology):

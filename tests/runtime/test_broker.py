@@ -66,3 +66,41 @@ class TestMessages:
         plan = broker.plan_step(counts)
         msgs = broker.messages_for_layer(plan, 0, MessageKind.TOKEN_DISPATCH)
         assert len(msgs) == 1 and msgs[0].dst == 0
+
+
+class TestTracePlan:
+    def trace_counts(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 40, size=(5, 2, 4))
+        counts[1] = 0                   # an all-empty step
+        counts[2, :, 1] = 0             # an expert nobody selects
+        counts[3, 0, :] = 0             # an empty layer
+        return counts
+
+    def test_matches_per_step_plans(self, broker):
+        counts = self.trace_counts()
+        trace_plan = broker.plan_trace(counts)
+        for step in range(counts.shape[0]):
+            step_plan = broker.plan_step(counts[step])
+            np.testing.assert_array_equal(trace_plan.tokens[step],
+                                          step_plan.tokens)
+            np.testing.assert_array_equal(trace_plan.bytes()[step],
+                                          step_plan.tokens
+                                          * step_plan.token_bytes)
+        assert trace_plan.token_bytes == step_plan.token_bytes
+
+    def test_step_plan_view(self, broker):
+        counts = self.trace_counts()
+        trace_plan = broker.plan_trace(counts)
+        view = trace_plan.step_plan(2)
+        np.testing.assert_array_equal(view.tokens,
+                                      broker.plan_step(counts[2]).tokens)
+        assert view.num_workers == trace_plan.num_workers == 3
+        assert view.num_layers == trace_plan.num_layers == 2
+        assert trace_plan.num_steps == 5
+
+    def test_shape_validation(self, broker):
+        with pytest.raises(ValueError):
+            broker.plan_trace(np.zeros((5, 3, 3)))
+        with pytest.raises(ValueError):
+            broker.plan_trace(np.zeros((2, 4)))

@@ -46,6 +46,37 @@ class TestDESValidation:
             EventDrivenMasterWorker(cfg, topo, placement, 0, seq_len=16)
 
 
+class TestTraceReplay:
+    def test_vectorized_matches_event_loop(self, setup):
+        """Batched replay reproduces the per-step event loop exactly."""
+        cfg, topo, placement, trace = setup
+        des = EventDrivenMasterWorker(cfg, topo, placement, 64, seq_len=16,
+                                      nic_contention=False)
+        ref = des.run_trace(trace, mode="reference")
+        vec = des.run_trace(trace, mode="vectorized")
+        assert len(vec) == len(ref) == trace.num_steps
+        for a, b in zip(ref, vec):
+            assert b.total_time == pytest.approx(a.total_time, rel=1e-9)
+            assert b.num_layer_passes == a.num_layer_passes
+
+    def test_contended_replay_uses_event_loop(self, setup):
+        """nic_contention needs real event ordering — no fast path exists."""
+        cfg, topo, placement, trace = setup
+        des = EventDrivenMasterWorker(cfg, topo, placement, 64, seq_len=16,
+                                      nic_contention=True)
+        vec = des.run_trace(trace)  # default mode, falls back internally
+        ref = des.run_trace(trace, mode="reference")
+        for a, b in zip(ref, vec):
+            assert b.total_time == pytest.approx(a.total_time, rel=1e-12)
+            assert b.master_egress_busy["nic"] > 0
+
+    def test_max_steps(self, setup):
+        cfg, topo, placement, trace = setup
+        des = EventDrivenMasterWorker(cfg, topo, placement, 64, seq_len=16,
+                                      nic_contention=False)
+        assert len(des.run_trace(trace, max_steps=2)) == 2
+
+
 class TestContention:
     def test_contention_never_faster(self, setup):
         cfg, topo, placement, trace = setup
