@@ -4,9 +4,25 @@ Paper's measured shape: conventional expert parallelism is slowed by its
 per-block status synchronization; VELA's master-worker framework plus
 locality-aware placement accelerates each step by 20.6 % (Mixtral/Alpaca)
 to 28.2 % (Mixtral/WikiText) versus EP.
+
+Run standalone with ``--trace-out`` to export the step timeline behind one
+cell as a Chrome-trace JSON (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev): both engines replay the cell with telemetry on,
+every per-step span-category sum is verified against the ``StepMetrics``
+aggregates to 1e-9, and the two engines land side by side as separate
+processes in the viewer::
+
+    PYTHONPATH=src python benchmarks/bench_fig6_step_time.py \\
+        --trace-out BENCH_fig6_trace.json
 """
 
+import argparse
+import sys
+from pathlib import Path
+
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from conftest import comparison
 from repro.bench.report import format_table, percent
@@ -70,3 +86,139 @@ def test_time_reduction_exceeds_traffic_reduction_wikitext(benchmark,
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     assert mixtral_wikitext.time_reduction_vs_ep() > \
         mixtral_wikitext.traffic_reduction_vs_ep()
+
+
+# --------------------------------------------------------------------- #
+# standalone runner: Chrome-trace export with span-sum verification
+# --------------------------------------------------------------------- #
+SPAN_SUM_TOL = 1e-9
+
+
+def _step_category_sums(spans):
+    """``{step: {category: summed duration}}`` plus per-step comm labels."""
+    by_step = {}
+    for span in spans:
+        step = span.labels["step"]
+        cats = by_step.setdefault(step, {})
+        cats[span.category] = cats.get(span.category, 0.0) + span.duration
+        cats["_total"] = cats.get("_total", 0.0) + span.duration
+        cats["_comm_labels"] = (cats.get("_comm_labels", 0.0)
+                                + span.labels.get("comm_s", 0.0))
+    return by_step
+
+
+def verify_span_sums(telemetry, run, engine_name: str) -> float:
+    """Check per-step span sums against StepMetrics; returns the worst gap.
+
+    For both engines the step's spans tile ``total_time`` exactly.  Comm
+    time is the ``comm_s`` labels of the master-worker fork-joins and the
+    ``all_to_all`` category for EP; EP's ``sync``/``allreduce`` categories
+    must likewise match ``sync_time``/``allreduce_time``.
+    """
+    sums = _step_category_sums(telemetry.spans)
+    worst = 0.0
+    for metrics in run.steps:
+        cats = sums[metrics.step]
+        checks = [(cats["_total"], metrics.total_time, "total")]
+        if engine_name == "expert_parallel":
+            checks += [
+                (cats.get("all_to_all", 0.0), metrics.comm_time, "comm"),
+                (cats.get("sync", 0.0), metrics.sync_time, "sync"),
+                (cats.get("allreduce", 0.0), metrics.allreduce_time,
+                 "allreduce"),
+            ]
+        else:
+            checks.append((cats["_comm_labels"], metrics.comm_time, "comm"))
+        for got, want, what in checks:
+            gap = abs(got - want)
+            worst = max(worst, gap)
+            if gap >= SPAN_SUM_TOL:
+                raise AssertionError(
+                    f"{engine_name} step {metrics.step} {what}: span sum "
+                    f"{got!r} != StepMetrics {want!r} (|gap| {gap:.3e})")
+    return worst
+
+
+def export_fig6_trace(model: str, dataset: str, steps: int, trace_out: Path,
+                      csv_out=None, show_summary: bool = False) -> dict:
+    """Replay one Fig. 6 cell with telemetry and export the Chrome trace."""
+    from repro.bench.workloads import paper_workload
+    from repro.core.baselines import make_strategy
+    from repro.placement.base import PlacementProblem
+    from repro.runtime.engine import (ExpertParallelEngine,
+                                      MasterWorkerEngine)
+    from repro.telemetry import Telemetry, write_chrome_trace, write_csv
+
+    workload = paper_workload(model, dataset, seed=1)
+    cfg = workload.config
+    trace = workload.trace(steps)
+    problem = PlacementProblem(config=cfg.model, topology=cfg.topology,
+                               probability_matrix=workload.probability_matrix,
+                               tokens_per_step=cfg.tokens_per_step,
+                               capacities=cfg.worker_capacities())
+
+    tel_mw, tel_ep = Telemetry(), Telemetry()
+    mw = MasterWorkerEngine(cfg.model, cfg.topology,
+                            make_strategy("vela").place(problem),
+                            cfg.tokens_per_step, cfg.seq_len,
+                            lora_rank=cfg.lora_rank, strategy_name="vela",
+                            telemetry=tel_mw)
+    ep = ExpertParallelEngine(cfg.model, cfg.topology,
+                              make_strategy("expert_parallel").place(problem),
+                              cfg.tokens_per_step, cfg.seq_len,
+                              lora_rank=cfg.lora_rank, telemetry=tel_ep)
+    run_mw = mw.run_trace(trace)
+    run_ep = ep.run_trace(trace)
+
+    worst = max(verify_span_sums(tel_mw, run_mw, "vela"),
+                verify_span_sums(tel_ep, run_ep, "expert_parallel"))
+    write_chrome_trace(trace_out, tel_mw.registry, tel_ep.registry,
+                       names=[f"vela master-worker ({workload.name})",
+                              f"expert parallel ({workload.name})"])
+    if csv_out is not None:
+        write_csv(csv_out, tel_mw.registry)
+    if show_summary:
+        print("vela master-worker:")
+        print(tel_mw.summary())
+        print("\nexpert parallel:")
+        print(tel_ep.summary())
+    return {
+        "cell": workload.name,
+        "steps": steps,
+        "spans": len(tel_mw.spans) + len(tel_ep.spans),
+        "worst_gap": worst,
+        "vela_avg_step_s": run_mw.avg_step_time(),
+        "ep_avg_step_s": run_ep.avg_step_time(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-out", type=Path, required=True,
+                        help="write the Chrome-trace JSON to this path")
+    parser.add_argument("--csv-out", type=Path, default=None,
+                        help="also write the master-worker registry as CSV")
+    parser.add_argument("--model", default="mixtral",
+                        choices=("mixtral", "gritlm"))
+    parser.add_argument("--dataset", default="wikitext",
+                        choices=("wikitext", "alpaca"))
+    parser.add_argument("--steps", type=int, default=12,
+                        help="trace steps to replay and export")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the per-engine summary tables")
+    args = parser.parse_args(argv)
+
+    result = export_fig6_trace(args.model, args.dataset, args.steps,
+                               args.trace_out, csv_out=args.csv_out,
+                               show_summary=args.summary)
+    print(f"wrote {args.trace_out}: {result['spans']} spans over "
+          f"{result['steps']} steps of {result['cell']}")
+    print(f"span sums vs StepMetrics: worst gap {result['worst_gap']:.3e} "
+          f"(tolerance {SPAN_SUM_TOL:.0e})")
+    print(f"avg step: vela {result['vela_avg_step_s']:.3f}s, "
+          f"EP {result['ep_avg_step_s']:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

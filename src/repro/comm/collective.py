@@ -16,14 +16,22 @@ frameworks:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..cluster.topology import ClusterTopology
+from ..telemetry import Telemetry
 
 
 def one_to_all_time(bytes_per_worker: np.ndarray,
-                    topology: ClusterTopology) -> float:
-    """Master sends ``bytes_per_worker[n]`` to each worker concurrently."""
+                    topology: ClusterTopology,
+                    telemetry: Optional[Telemetry] = None) -> float:
+    """Master sends ``bytes_per_worker[n]`` to each worker concurrently.
+
+    With ``telemetry``, the payload lands on the ``comm.one_to_all.bytes``
+    bytes-on-wire counter.
+    """
     bytes_per_worker = np.asarray(bytes_per_worker, dtype=np.float64)
     if bytes_per_worker.shape[0] != topology.num_workers:
         raise ValueError("bytes_per_worker length must equal num_workers")
@@ -33,15 +41,22 @@ def one_to_all_time(bytes_per_worker: np.ndarray,
             continue
         link = topology.master_link(worker)
         worst = max(worst, link.transfer_time(float(nbytes)))
+    if telemetry is not None:
+        telemetry.counter("comm.one_to_all.bytes").add(
+            float(bytes_per_worker.clip(min=0.0).sum()))
     return worst
 
 
-def all_to_all_time(byte_matrix: np.ndarray, topology: ClusterTopology) -> float:
+def all_to_all_time(byte_matrix: np.ndarray, topology: ClusterTopology,
+                    telemetry: Optional[Telemetry] = None) -> float:
     """Synchronized all-to-all over a ``(N, N)`` byte matrix.
 
     Each device serializes its outgoing transfers (one NIC/copy engine); all
     devices proceed in parallel; the collective completes at a barrier when
     the slowest sender finishes.  Diagonal entries (local data) are free.
+
+    With ``telemetry``, the off-diagonal payload (the bytes that actually
+    touch a link) lands on the ``comm.all_to_all.bytes`` counter.
     """
     byte_matrix = np.asarray(byte_matrix, dtype=np.float64)
     n = topology.num_workers
@@ -56,6 +71,9 @@ def all_to_all_time(byte_matrix: np.ndarray, topology: ClusterTopology) -> float
             link = topology.worker_link(src, dst)
             elapsed += link.transfer_time(float(byte_matrix[src, dst]))
         worst = max(worst, elapsed)
+    if telemetry is not None:
+        telemetry.counter("comm.all_to_all.bytes").add(
+            float(byte_matrix.sum() - np.trace(byte_matrix)))
     return worst
 
 
@@ -70,15 +88,22 @@ def status_sync_time(topology: ClusterTopology) -> float:
     return 2.0 * slowest
 
 
-def ring_all_reduce_time(nbytes: float, topology: ClusterTopology) -> float:
+def ring_all_reduce_time(nbytes: float, topology: ClusterTopology,
+                         telemetry: Optional[Telemetry] = None) -> float:
     """Bandwidth-optimal ring all-reduce across all workers.
 
     ``2 * (N-1)/N * nbytes`` over the slowest link in the ring plus the
     per-hop latencies of the ``2*(N-1)`` steps.
+
+    With ``telemetry``, the total bytes on the wire — per-edge ring volume
+    times the ``N`` ring edges — land on ``comm.all_reduce.bytes``.
     """
     if nbytes < 0:
         raise ValueError("nbytes must be non-negative")
     n = topology.num_workers
+    if telemetry is not None and n > 1:
+        telemetry.counter("comm.all_reduce.bytes").add(
+            2.0 * (n - 1) * float(nbytes))
     if n == 1 or nbytes == 0:
         return 0.0
     # Any ring over multiple nodes traverses cross-node links.

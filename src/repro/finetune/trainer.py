@@ -5,10 +5,16 @@ every linear layer except the gate, AdamW with the published
 hyperparameters, frozen pre-trained weights.  Every step's routing decisions
 are recorded, producing the :class:`~repro.routing.trace.RoutingTrace` that
 the distributed engines replay and the Fig. 3 experiments analyze.
+
+With ``telemetry=``, each step records wall-clock ``train.forward`` /
+``train.backward`` / ``train.optimizer`` spans on the ``trainer`` track plus
+``train.loss`` and (when clipping) ``train.grad_norm`` gauges — this is the
+*live* counterpart of the simulation engines' model-time spans.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -21,6 +27,7 @@ from ..models.transformer import MoETransformer
 from ..nn.optim import AdamW, GradClipper
 from ..nn.schedule import LRScheduler, WarmupCosineLR
 from ..routing.trace import RoutingTrace
+from ..telemetry import Telemetry
 from .callbacks import Callback, GateMonitor, LossHistory, RoutingRecorder
 
 
@@ -120,14 +127,19 @@ class Trainer:
     config:
         Hyperparameters; LoRA is injected at construction unless the model
         already contains adapters.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; records wall-clock
+        per-step spans and loss/grad-norm gauges.
     """
 
     def __init__(self, model: MoETransformer, loader: LMDataLoader,
                  config: Optional[FineTuneConfig] = None,
-                 inject: bool = True):
+                 inject: bool = True,
+                 telemetry: Optional[Telemetry] = None):
         self.model = model
         self.loader = loader
         self.config = config or FineTuneConfig()
+        self.telemetry = telemetry
         if inject:
             self.lora_report = inject_lora(model, self.config.lora)
         else:
@@ -170,6 +182,14 @@ class Trainer:
         tokens_per_step = None
         accumulation = self.config.grad_accumulation
         micro_batches = self.loader.batches(steps * accumulation)
+        telemetry = self.telemetry
+
+        def span(name, step):
+            if telemetry is None:
+                return nullcontext()
+            return telemetry.span(name, category=name.split(".")[-1],
+                                  track="trainer", step=step)
+
         try:
             for step in range(steps):
                 if self.scheduler is not None:
@@ -182,17 +202,26 @@ class Trainer:
                     if tokens_per_step is None:
                         tokens_per_step = (inputs.shape[0] * inputs.shape[1]
                                            * accumulation)
-                    loss = self.model.loss(inputs, targets) * (1.0 / accumulation)
-                    loss.backward()
+                    with span("train.forward", step):
+                        loss = self.model.loss(inputs, targets) \
+                            * (1.0 / accumulation)
+                    with span("train.backward", step):
+                        loss.backward()
                     step_loss += float(loss.item())
                     records = self.model.routing_records()
                     if step_counts is None:
                         step_counts = records
                     else:
                         step_counts = _merge_records(step_counts, records)
-                if self.clipper is not None:
-                    self.clipper.clip(self.optimizer.params)
-                self.optimizer.step()
+                with span("train.optimizer", step):
+                    if self.clipper is not None:
+                        grad_norm = self.clipper.clip(self.optimizer.params)
+                        if telemetry is not None:
+                            telemetry.gauge("train.grad_norm").set(
+                                float(grad_norm))
+                    self.optimizer.step()
+                if telemetry is not None:
+                    telemetry.gauge("train.loss").set(step_loss)
                 for callback in all_callbacks:
                     callback.on_step(step, step_loss, step_counts)
             for callback in all_callbacks:

@@ -6,18 +6,37 @@ which tokens (and later, gradients) flow to which worker.  In this simulated
 runtime its product is the dispatch plan — per-(worker, layer) token counts
 and the corresponding :class:`~repro.comm.message.Message` lists — which the
 engines turn into transfer timings and traffic totals.
+
+Mode contract
+-------------
+:meth:`ExpertBroker.plan_trace` is the batched planner behind
+``run_trace(mode="vectorized")``: one einsum over the whole
+``(steps, layers, experts)`` count tensor.  It is defined to equal stacking
+:meth:`ExpertBroker.plan_step` over the trace's steps — integer token
+counts, so agreement is exact, and the engine equivalence suites
+(``tests/runtime/test_vectorized_engine.py``, ``benchmarks/bench_replay.py``)
+hold both paths to ``< 1e-9`` relative divergence end to end.
+
+Observability
+-------------
+Constructed with ``telemetry=``, the broker attributes planned one-direction
+payload bytes to each ``(layer, expert, worker)`` edge as
+``broker.dispatch_bytes`` counters (see ``docs/OBSERVABILITY.md``).  Both
+planners feed the same counters, so reference and vectorized replays
+accumulate identical byte attributions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..comm.message import MASTER, Message, MessageKind
 from ..models.config import MoEModelConfig
 from ..placement.base import Placement
+from ..telemetry import Telemetry
 
 
 @dataclass
@@ -91,13 +110,30 @@ class ExpertBroker:
     """Plans master<->worker data movement for a placement."""
 
     def __init__(self, config: MoEModelConfig, placement: Placement,
-                 num_workers: int):
+                 num_workers: int, telemetry: Optional[Telemetry] = None):
         if placement.num_layers != config.num_layers or \
                 placement.num_experts != config.num_experts:
             raise ValueError("placement shape does not match model config")
         self.config = config
         self.placement = placement
         self.num_workers = num_workers
+        self.telemetry = telemetry
+
+    def _record_dispatch_bytes(self, counts: np.ndarray) -> None:
+        """Attribute planned payload bytes to (layer, expert, worker) edges.
+
+        ``counts`` is a ``(layers, experts)`` token-selection matrix (one
+        step's, or a whole trace's summed); each nonzero cell increments the
+        ``broker.dispatch_bytes`` counter of the edge that carries it.
+        """
+        telemetry = self.telemetry
+        token_bytes = self.config.token_feature_nbytes()
+        assignment = self.placement.assignment
+        for layer, expert in np.argwhere(counts > 0):
+            telemetry.counter(
+                "broker.dispatch_bytes", layer=int(layer), expert=int(expert),
+                worker=int(assignment[layer, expert]),
+            ).add(float(counts[layer, expert]) * token_bytes)
 
     def plan_step(self, step_counts: np.ndarray) -> DispatchPlan:
         """Build the dispatch plan from one step's routing counts.
@@ -110,6 +146,8 @@ class ExpertBroker:
         if step_counts.shape != expected:
             raise ValueError(f"step_counts shape {step_counts.shape} != {expected}")
         tokens = self.placement.tokens_per_worker(step_counts, self.num_workers)
+        if self.telemetry is not None:
+            self._record_dispatch_bytes(step_counts)
         return DispatchPlan(tokens=tokens,
                             token_bytes=self.config.token_feature_nbytes())
 
@@ -130,6 +168,8 @@ class ExpertBroker:
         x = self.placement.to_binary_tensor(self.num_workers)
         tokens = np.einsum("sle,nle->snl", trace_counts,
                            x.astype(np.int64), optimize=True)
+        if self.telemetry is not None:
+            self._record_dispatch_bytes(trace_counts.sum(axis=0))
         return TracePlan(tokens=tokens,
                          token_bytes=self.config.token_feature_nbytes())
 

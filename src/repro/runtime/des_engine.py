@@ -12,6 +12,23 @@ concurrently.  This module *executes* the same step as discrete events on
    one NIC and all intra-node traffic through one PCIe root; enabling
    ``nic_contention`` serializes transfers through per-resource FIFOs,
    quantifying how optimistic the paper's independent-links assumption is.
+
+Mode contract
+-------------
+``run_trace(mode="vectorized")`` (the default for uncontended runs) computes
+every step's layer-finish times as batched cumulative sums and must equal
+the per-event execution exactly; contended runs always take the event loop
+because FIFO occupancy is genuinely sequential.
+
+Observability
+-------------
+With ``telemetry=``, each step is recorded at event resolution: master
+backbone/head/optimizer spans on the ``master`` track and every expert
+round-trip as dispatch → expert → gather spans on per-worker
+``worker-<n>`` tracks — under contention the dispatch/gather spans start
+when the FIFO grants the link, making queueing delay visible in the Chrome
+trace.  Telemetry-enabled replays always use the event loop (spans need
+per-event times), so enable it for inspection runs, not timing sweeps.
 """
 
 from __future__ import annotations
@@ -25,6 +42,7 @@ from ..cluster.topology import ClusterTopology
 from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..routing.trace import RoutingTrace
+from ..telemetry import Telemetry
 from .broker import ExpertBroker
 from .engine import (fork_join_span_arrays, lora_backbone_param_count,
                      lora_expert_param_count, resolve_trace_mode)
@@ -57,7 +75,8 @@ class EventDrivenMasterWorker:
 
     def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
                  placement: Placement, tokens_per_step: int, seq_len: int,
-                 lora_rank: int = 8, nic_contention: bool = False):
+                 lora_rank: int = 8, nic_contention: bool = False,
+                 telemetry: Optional[Telemetry] = None):
         if tokens_per_step < 1:
             raise ValueError("tokens_per_step must be positive")
         self.config = config
@@ -67,8 +86,11 @@ class EventDrivenMasterWorker:
         self.seq_len = seq_len
         self.lora_rank = lora_rank
         self.nic_contention = nic_contention
+        self.telemetry = telemetry
+        self._telemetry_now = 0.0
         self.flops = FlopModel(config)
-        self.broker = ExpertBroker(config, placement, topology.num_workers)
+        self.broker = ExpertBroker(config, placement, topology.num_workers,
+                                   telemetry=telemetry)
         self.master_device = topology.workers[topology.master_worker_id].device
 
     # ------------------------------------------------------------------ #
@@ -85,7 +107,8 @@ class EventDrivenMasterWorker:
             return "nic"
         return "pcie"
 
-    def run_step(self, step_counts: np.ndarray) -> DESStepResult:
+    def run_step(self, step_counts: np.ndarray,
+                 step: int = 0) -> DESStepResult:
         """Execute one full step (forward + backward + heads + optimizers)."""
         plan = self.broker.plan_step(np.asarray(step_counts))
         sim = Simulator()
@@ -95,14 +118,22 @@ class EventDrivenMasterWorker:
         tokens = float(self.tokens_per_step)
         layers = self.config.num_layers
         layer_finish: List[float] = []
+        telemetry = self.telemetry
+        t0 = self._telemetry_now
 
         state = {"t": 0.0}
 
         def run_pass(backward: bool) -> None:
+            direction = "bwd" if backward else "fwd"
             for layer in range(layers):
                 backbone = self.flops.backbone_layer_time(
                     self.master_device, tokens, self.seq_len,
                     backward=backward)
+                if telemetry is not None:
+                    telemetry.record_span(
+                        "des.backbone", t0 + state["t"], backbone,
+                        category="backbone", track="master", step=step,
+                        layer=layer, direction=direction)
                 dispatch_start = state["t"] + backbone
                 layer_end = dispatch_start  # at least the backbone
                 for worker in range(self.topology.num_workers):
@@ -124,18 +155,35 @@ class EventDrivenMasterWorker:
                         done = send_back + duration
                     else:
                         done = ingress[key].occupy(send_back, duration)
+                    if telemetry is not None:
+                        track = f"worker-{worker}"
+                        common = dict(track=track, step=step, layer=layer,
+                                      direction=direction)
+                        telemetry.record_span(
+                            "des.dispatch", t0 + arrive - duration, duration,
+                            category="dispatch", **common)
+                        telemetry.record_span(
+                            "des.expert", t0 + arrive, compute,
+                            category="expert", **common)
+                        telemetry.record_span(
+                            "des.gather", t0 + done - duration, duration,
+                            category="gather", **common)
                     layer_end = max(layer_end, done)
                 state["t"] = layer_end
                 layer_finish.append(layer_end)
                 sim.at(layer_end, lambda: None)
 
         run_pass(backward=False)
-        state["t"] += self.flops.head_time(self.master_device, tokens)
-        state["t"] += self.flops.head_time(self.master_device, tokens,
-                                           backward=True)
+        head = (self.flops.head_time(self.master_device, tokens)
+                + self.flops.head_time(self.master_device, tokens,
+                                       backward=True))
+        if telemetry is not None:
+            telemetry.record_span("des.head", t0 + state["t"], head,
+                                  category="head", track="master", step=step)
+        state["t"] += head
         run_pass(backward=True)
 
-        state["t"] += self.flops.optimizer_time(
+        optimizer = self.flops.optimizer_time(
             self.master_device, lora_backbone_param_count(self.config,
                                                           self.lora_rank))
         worker_opt = max(
@@ -145,9 +193,18 @@ class EventDrivenMasterWorker:
             for w, load in zip(self.topology.workers,
                                self.placement.worker_loads(
                                    self.topology.num_workers)))
-        state["t"] += worker_opt
+        if telemetry is not None:
+            telemetry.record_span(
+                "des.optimizer.master", t0 + state["t"], optimizer,
+                category="optimizer", track="master", step=step)
+            telemetry.record_span(
+                "des.optimizer.worker", t0 + state["t"] + optimizer,
+                worker_opt, category="optimizer", track="master", step=step)
+        state["t"] += optimizer + worker_opt
 
         sim.run()
+        if telemetry is not None:
+            self._telemetry_now = t0 + state["t"]
         return DESStepResult(
             total_time=state["t"],
             layer_finish_times=layer_finish,
@@ -166,12 +223,15 @@ class EventDrivenMasterWorker:
         backbone + fork-join span — so ``mode="vectorized"`` (the default)
         computes all steps as batched cumulative sums.  Contended runs always
         take the per-step event loop: FIFO occupancy is genuinely sequential.
+        Telemetry-enabled runs do too — spans are recorded at per-event
+        resolution, which the batched closed form cannot provide.
         """
         mode = resolve_trace_mode(mode, self.default_trace_mode)
         limit = trace.num_steps if max_steps is None else min(max_steps,
                                                               trace.num_steps)
-        if mode == "reference" or self.nic_contention:
-            return [self.run_step(trace.step_counts(step))
+        if mode == "reference" or self.nic_contention or \
+                self.telemetry is not None:
+            return [self.run_step(trace.step_counts(step), step=step)
                     for step in range(limit)]
         return self._run_trace_vectorized(trace, limit)
 

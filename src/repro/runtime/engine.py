@@ -25,6 +25,26 @@ Both engines replay traces in one of two modes:
 * ``mode="reference"``: the original per-step loop, kept as the
   equivalence oracle (``benchmarks/bench_replay.py`` asserts the two agree
   and reports the speedup).
+
+Mode contract
+-------------
+``reference`` is the semantics; ``vectorized`` is an optimization that must
+reproduce it.  Every ``StepMetrics`` field of the two modes agrees to
+``< 1e-9`` relative divergence (observed ~1e-15) on all four paper cells,
+enforced by ``tests/runtime/test_vectorized_engine.py`` and re-measured by
+``benchmarks/bench_replay.py``; process bookkeeping (master/worker stats)
+is part of the contract.
+
+Observability
+-------------
+Both engines accept ``telemetry=`` (a :class:`repro.telemetry.Telemetry`);
+when set, every simulated phase — backbone, expert fork-join, status sync,
+all-to-all, all-reduce, head, optimizer — is recorded as a model-time span,
+and both replay modes emit the identical span sequence.  Per-step span
+durations sum exactly to the ``StepMetrics`` aggregates (verified to 1e-9
+by ``benchmarks/bench_fig6_step_time.py --trace-out``).  With the default
+``telemetry=None`` the hot paths pay one attribute check.  Span naming
+lives in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -40,6 +60,7 @@ from ..comm.cost import CommCostModel
 from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..routing.trace import RoutingTrace
+from ..telemetry import Telemetry
 from .broker import ExpertBroker
 from .flops import BACKWARD_MULTIPLIER, FlopModel
 from .master import MasterProcess
@@ -130,7 +151,8 @@ class MasterWorkerEngine:
 
     def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
                  placement: Placement, tokens_per_step: int, seq_len: int,
-                 lora_rank: int = 8, strategy_name: Optional[str] = None):
+                 lora_rank: int = 8, strategy_name: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None):
         if tokens_per_step < 1:
             raise ValueError("tokens_per_step must be positive")
         self.config = config
@@ -140,10 +162,15 @@ class MasterWorkerEngine:
         self.seq_len = seq_len
         self.lora_rank = lora_rank
         self.strategy_name = strategy_name or placement.name
+        self.telemetry = telemetry
+        # Model-time cursor: successive steps land back to back on the
+        # exported trace timeline.
+        self._telemetry_now = 0.0
 
         self.flops = FlopModel(config)
         self.cost = CommCostModel(config, topology)
-        self.broker = ExpertBroker(config, placement, topology.num_workers)
+        self.broker = ExpertBroker(config, placement, topology.num_workers,
+                                   telemetry=telemetry)
         master_device = topology.workers[topology.master_worker_id].device
         self.master = MasterProcess(config, master_device, self.flops, seq_len)
         self.workers = [WorkerProcess(w.worker_id, w.device, self.flops)
@@ -185,13 +212,27 @@ class MasterWorkerEngine:
         """Simulate one fine-tuning step and return its metrics."""
         plan = self.broker.plan_step(step_counts)
         tokens = float(self.tokens_per_step)
+        telemetry = self.telemetry
+        t0 = self._telemetry_now
 
         total = comm = compute = 0.0
         for backward in (False, True):
+            direction = "bwd" if backward else "fwd"
             for layer in range(self.config.num_layers):
                 backbone = self.master.backbone_layer_time(tokens, backward=backward)
                 span, comm_part, compute_part = self._layer_span(
                     plan.layer_bytes(layer), plan.tokens[:, layer], backward)
+                if telemetry is not None:
+                    cursor = t0 + total
+                    telemetry.record_span(
+                        "mw.backbone", cursor, backbone, category="backbone",
+                        track="master", step=step, layer=layer,
+                        direction=direction)
+                    telemetry.record_span(
+                        "mw.fork_join", cursor + backbone, span,
+                        category="fork_join", track="master", step=step,
+                        layer=layer, direction=direction, comm_s=comm_part,
+                        compute_s=compute_part)
                 total += backbone + span
                 comm += comm_part
                 compute += backbone + compute_part
@@ -202,8 +243,21 @@ class MasterWorkerEngine:
         worker_opt = max(w.optimizer_time(
             lora_expert_param_count(self.config, self.lora_rank))
             for w in self.workers)
+        if telemetry is not None:
+            cursor = t0 + total
+            telemetry.record_span("mw.head", cursor, head, category="head",
+                                  track="master", step=step)
+            telemetry.record_span("mw.optimizer.master", cursor + head,
+                                  optimizer, category="optimizer",
+                                  track="master", step=step)
+            telemetry.record_span("mw.optimizer.worker",
+                                  cursor + head + optimizer, worker_opt,
+                                  category="optimizer", track="master",
+                                  step=step)
         total += head + optimizer + worker_opt
         compute += head + optimizer + worker_opt
+        if telemetry is not None:
+            self._telemetry_now = t0 + total
 
         for worker in self.workers:
             worker.end_step()
@@ -246,6 +300,50 @@ class MasterWorkerEngine:
         return (num_layers * (bf + bb) + head
                 + spans["span_f"].sum(axis=1) + spans["span_b"].sum(axis=1))
 
+    def _emit_vectorized_telemetry(self, spans: Dict[str, np.ndarray],
+                                   limit: int, bf: float, bb: float,
+                                   head: float, optimizer: float,
+                                   worker_opt: float) -> None:
+        """Replay the vectorized arrays onto the trace timeline.
+
+        Emits the same span sequence as ``run_step`` — only runs when
+        telemetry is enabled, so the batched fast path stays loop-free when
+        it is off.
+        """
+        telemetry = self.telemetry
+        t = self._telemetry_now
+        for step in range(limit):
+            for direction, b, key in (("fwd", bf, "f"), ("bwd", bb, "b")):
+                span_arr = spans[f"span_{key}"]
+                comm_arr = spans[f"comm_{key}"]
+                comp_arr = spans[f"comp_{key}"]
+                for layer in range(self.config.num_layers):
+                    telemetry.record_span(
+                        "mw.backbone", t, b, category="backbone",
+                        track="master", step=step, layer=layer,
+                        direction=direction)
+                    t += b
+                    span = float(span_arr[step, layer])
+                    telemetry.record_span(
+                        "mw.fork_join", t, span, category="fork_join",
+                        track="master", step=step, layer=layer,
+                        direction=direction,
+                        comm_s=float(comm_arr[step, layer]),
+                        compute_s=float(comp_arr[step, layer]))
+                    t += span
+            telemetry.record_span("mw.head", t, head, category="head",
+                                  track="master", step=step)
+            t += head
+            telemetry.record_span("mw.optimizer.master", t, optimizer,
+                                  category="optimizer", track="master",
+                                  step=step)
+            t += optimizer
+            telemetry.record_span("mw.optimizer.worker", t, worker_opt,
+                                  category="optimizer", track="master",
+                                  step=step)
+            t += worker_opt
+        self._telemetry_now = t
+
     def _run_trace_vectorized(self, trace: RoutingTrace,
                               limit: int) -> RunMetrics:
         plan = self.broker.plan_trace(trace.counts[:limit])
@@ -267,6 +365,10 @@ class MasterWorkerEngine:
                                       per_expert * w.num_hosted_experts)
             for w in self.workers])
         tail = optimizer + float(worker_opts.max())
+        if self.telemetry is not None:
+            self._emit_vectorized_telemetry(spans, limit, bf, bb, head,
+                                            optimizer,
+                                            float(worker_opts.max()))
 
         total = self._vectorized_core_total(spans, bf, bb, head) + tail
         comm = spans["comm_f"].sum(axis=1) + spans["comm_b"].sum(axis=1)
@@ -311,7 +413,8 @@ class ExpertParallelEngine:
     def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
                  placement: Placement, tokens_per_step: int, seq_len: int,
                  lora_rank: int = 8, strategy_name: str = "expert_parallel",
-                 sync_software_overhead_s: float = 0.008):
+                 sync_software_overhead_s: float = 0.008,
+                 telemetry: Optional[Telemetry] = None):
         """``sync_software_overhead_s`` is the per-block status-sync cost.
 
         Beyond wire latency, a blocking size-exchange in a real framework
@@ -333,9 +436,12 @@ class ExpertParallelEngine:
         self.lora_rank = lora_rank
         self.strategy_name = strategy_name
         self.sync_software_overhead_s = sync_software_overhead_s
+        self.telemetry = telemetry
+        self._telemetry_now = 0.0
         self.flops = FlopModel(config)
         self.token_bytes = config.token_feature_nbytes()
-        self.broker = ExpertBroker(config, placement, topology.num_workers)
+        self.broker = ExpertBroker(config, placement, topology.num_workers,
+                                   telemetry=telemetry)
         # Replicated phases end at a barrier, so the slowest device gates
         # every data-parallel compute step; expert compute is per-owner.
         self.device = topology.device
@@ -362,22 +468,49 @@ class ExpertParallelEngine:
         n = self.topology.num_workers
         shard_tokens = self.tokens_per_step / n
         sync_unit = status_sync_time(self.topology) + self.sync_software_overhead_s
+        telemetry = self.telemetry
+        t0 = self._telemetry_now
+        if telemetry is not None:
+            self.broker._record_dispatch_bytes(np.asarray(step_counts))
 
         total = comm = compute = sync = 0.0
         cross_bytes = 0.0
         total_bytes = 0.0
         for backward in (False, True):
             mult = 2.0 if backward else 1.0
+            direction = "bwd" if backward else "fwd"
             for layer in range(config.num_layers):
                 backbone = mult * self.flops.backbone_layer_time(
                     self.slowest_device, shard_tokens, self.seq_len)
                 matrix = self._byte_matrix(layer, step_counts[layer])
-                dispatch = all_to_all_time(matrix, self.topology)
-                gather = all_to_all_time(matrix.T, self.topology)
+                dispatch = all_to_all_time(matrix, self.topology,
+                                           telemetry=telemetry)
+                gather = all_to_all_time(matrix.T, self.topology,
+                                         telemetry=telemetry)
                 dest_tokens = matrix.sum(axis=0) / self.token_bytes
                 expert = mult * max(
                     self.flops.expert_time(device, float(t))
                     for device, t in zip(self.worker_devices, dest_tokens))
+                if telemetry is not None:
+                    cursor = t0 + total
+                    common = dict(track="ep", step=step, layer=layer,
+                                  direction=direction)
+                    telemetry.record_span("ep.backbone", cursor, backbone,
+                                          category="backbone", **common)
+                    cursor += backbone
+                    telemetry.record_span("ep.status_sync", cursor, sync_unit,
+                                          category="sync", **common)
+                    cursor += sync_unit
+                    telemetry.record_span("ep.all_to_all.dispatch", cursor,
+                                          dispatch, category="all_to_all",
+                                          **common)
+                    cursor += dispatch
+                    telemetry.record_span("ep.expert", cursor, expert,
+                                          category="expert", **common)
+                    cursor += expert
+                    telemetry.record_span("ep.all_to_all.gather", cursor,
+                                          gather, category="all_to_all",
+                                          **common)
                 total += backbone + sync_unit + dispatch + expert + gather
                 comm += dispatch + gather
                 compute += backbone + expert
@@ -392,10 +525,22 @@ class ExpertParallelEngine:
         # Trainable-parameter gradients stay in full precision (the paper's
         # mixed-precision setup keeps non-pretrained variables at fp32).
         grad_bytes = trainable * 4.0
-        allreduce = ring_all_reduce_time(grad_bytes, self.topology)
+        allreduce = ring_all_reduce_time(grad_bytes, self.topology,
+                                         telemetry=telemetry)
         optimizer = self.flops.optimizer_time(self.slowest_device, trainable)
+        if telemetry is not None:
+            cursor = t0 + total
+            telemetry.record_span("ep.head", cursor, head, category="head",
+                                  track="ep", step=step)
+            telemetry.record_span("ep.allreduce", cursor + head, allreduce,
+                                  category="allreduce", track="ep", step=step)
+            telemetry.record_span("ep.optimizer", cursor + head + allreduce,
+                                  optimizer, category="optimizer", track="ep",
+                                  step=step)
         total += head + allreduce + optimizer
         compute += head + optimizer
+        if telemetry is not None:
+            self._telemetry_now = t0 + total
 
         # All-reduce traffic: ring volume per edge, over node-crossing edges.
         ring_edge_bytes = 2.0 * (n - 1) / n * grad_bytes
@@ -492,6 +637,19 @@ class ExpertParallelEngine:
         allreduce = ring_all_reduce_time(grad_bytes, self.topology)
         optimizer = self.flops.optimizer_time(self.slowest_device, trainable)
 
+        payload_layer_sum = payload.sum(axis=2)               # (S, L)
+        if self.telemetry is not None:
+            # Bytes-on-wire counters, matching the reference loop's
+            # all_to_all_time / ring_all_reduce_time accounting.
+            self.telemetry.counter("comm.all_to_all.bytes").add(
+                float(4.0 * ((n - 1) * payload_layer_sum).sum()))
+            if n > 1:
+                self.telemetry.counter("comm.all_reduce.bytes").add(
+                    limit * 2.0 * (n - 1) * grad_bytes)
+            self._emit_vectorized_telemetry(
+                limit, num_layers, backbone, sync_unit, dispatch, gather,
+                expert, head, allreduce, optimizer)
+
         # Forward + backward pass: the byte matrix is identical, backbone and
         # expert compute double (BACKWARD_MULTIPLIER), comm repeats.
         dispatch_sum = dispatch.sum(axis=1)
@@ -507,7 +665,7 @@ class ExpertParallelEngine:
 
         # Byte accounting: off-diagonal payload per pass (x2 directions, x2
         # passes) plus the ring all-reduce volume.
-        payload_sum = payload.sum(axis=2)                     # (S, L)
+        payload_sum = payload_layer_sum                       # (S, L)
         total_bytes = 4.0 * ((n - 1) * payload_sum).sum(axis=1)
         cross_count = np.array([
             sum(1 for src in range(n)
@@ -528,3 +686,47 @@ class ExpertParallelEngine:
                 cross_node_bytes=float(cross[step]),
                 num_nodes=self.topology.num_nodes))
         return run
+
+    def _emit_vectorized_telemetry(self, limit: int, num_layers: int,
+                                   backbone: float, sync_unit: float,
+                                   dispatch: np.ndarray, gather: np.ndarray,
+                                   expert_forward: np.ndarray, head: float,
+                                   allreduce: float,
+                                   optimizer: float) -> None:
+        """Replay the vectorized arrays as the reference span sequence.
+
+        ``dispatch``/``gather``/``expert_forward`` are the per-(step, layer)
+        forward-pass arrays; the backward pass repeats comm and doubles
+        compute, exactly as ``run_step`` does.
+        """
+        telemetry = self.telemetry
+        t = self._telemetry_now
+        for step in range(limit):
+            for direction, mult in (("fwd", 1.0), ("bwd", 2.0)):
+                for layer in range(num_layers):
+                    common = dict(track="ep", step=step, layer=layer,
+                                  direction=direction)
+                    phases = (
+                        ("ep.backbone", mult * backbone, "backbone"),
+                        ("ep.status_sync", sync_unit, "sync"),
+                        ("ep.all_to_all.dispatch",
+                         float(dispatch[step, layer]), "all_to_all"),
+                        ("ep.expert",
+                         mult * float(expert_forward[step, layer]), "expert"),
+                        ("ep.all_to_all.gather",
+                         float(gather[step, layer]), "all_to_all"),
+                    )
+                    for name, duration, category in phases:
+                        telemetry.record_span(name, t, duration,
+                                              category=category, **common)
+                        t += duration
+            telemetry.record_span("ep.head", t, head, category="head",
+                                  track="ep", step=step)
+            t += head
+            telemetry.record_span("ep.allreduce", t, allreduce,
+                                  category="allreduce", track="ep", step=step)
+            t += allreduce
+            telemetry.record_span("ep.optimizer", t, optimizer,
+                                  category="optimizer", track="ep", step=step)
+            t += optimizer
+        self._telemetry_now = t

@@ -17,6 +17,13 @@ run concurrently with the master's continuing backbone backward; the step
 ends when both the master's chain and the slowest outstanding expert
 round-trip finish.  The speedup over the baseline engine quantifies what
 pipelining buys on top of locality-aware placement.
+
+With ``telemetry=``, backward fork-joins are recorded on a separate
+``exchange`` track so the exported Chrome trace shows them running
+concurrently with the master's backbone chain; forward spans stay on the
+``master`` track exactly as in the baseline engine.  Because phases overlap,
+per-step span durations sum to *more* than ``total_time`` here — the
+serialized engines are the ones whose spans tile the step exactly.
 """
 
 from __future__ import annotations
@@ -55,10 +62,64 @@ class OverlappedMasterWorkerEngine(MasterWorkerEngine):
         outstanding = np.maximum(t_fwd, candidates.max(axis=1))
         return np.maximum(t_fwd + num_layers * bb, outstanding)
 
+    def _emit_vectorized_telemetry(self, spans, limit, bf, bb, head,
+                                   optimizer, worker_opt):
+        """Replay the overlapped timeline from the vectorized arrays.
+
+        Same span sequence as this engine's ``run_step``: forward serialized
+        on the ``master`` track, backward fork-joins on the ``exchange``
+        track starting at the master's clock.
+        """
+        telemetry = self.telemetry
+        num_layers = self.config.num_layers
+        t = self._telemetry_now
+        for step in range(limit):
+            for layer in range(num_layers):
+                telemetry.record_span(
+                    "mw.backbone", t, bf, category="backbone",
+                    track="master", step=step, layer=layer, direction="fwd")
+                t += bf
+                span = float(spans["span_f"][step, layer])
+                telemetry.record_span(
+                    "mw.fork_join", t, span, category="fork_join",
+                    track="master", step=step, layer=layer, direction="fwd",
+                    comm_s=float(spans["comm_f"][step, layer]),
+                    compute_s=float(spans["comp_f"][step, layer]))
+                t += span
+            telemetry.record_span("mw.head", t, head, category="head",
+                                  track="master", step=step)
+            t += head
+            master_clock = t
+            outstanding = t
+            for layer in reversed(range(num_layers)):
+                span = float(spans["span_b"][step, layer])
+                telemetry.record_span(
+                    "mw.fork_join", master_clock, span, category="fork_join",
+                    track="exchange", step=step, layer=layer, direction="bwd",
+                    comm_s=float(spans["comm_b"][step, layer]),
+                    compute_s=float(spans["comp_b"][step, layer]))
+                telemetry.record_span(
+                    "mw.backbone", master_clock, bb, category="backbone",
+                    track="master", step=step, layer=layer, direction="bwd")
+                outstanding = max(outstanding, master_clock + span)
+                master_clock += bb
+            t = max(master_clock, outstanding)
+            telemetry.record_span("mw.optimizer.master", t, optimizer,
+                                  category="optimizer", track="master",
+                                  step=step)
+            t += optimizer
+            telemetry.record_span("mw.optimizer.worker", t, worker_opt,
+                                  category="optimizer", track="master",
+                                  step=step)
+            t += worker_opt
+        self._telemetry_now = t
+
     def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
         """Simulate one fine-tuning step; returns its metrics."""
         plan = self.broker.plan_step(step_counts)
         tokens = float(self.tokens_per_step)
+        telemetry = self.telemetry
+        t0 = self._telemetry_now
 
         total = comm = compute = 0.0
 
@@ -68,12 +129,25 @@ class OverlappedMasterWorkerEngine(MasterWorkerEngine):
             span, comm_part, compute_part = self._layer_span(
                 plan.layer_bytes(layer), plan.tokens[:, layer],
                 backward=False)
+            if telemetry is not None:
+                cursor = t0 + total
+                telemetry.record_span(
+                    "mw.backbone", cursor, backbone, category="backbone",
+                    track="master", step=step, layer=layer, direction="fwd")
+                telemetry.record_span(
+                    "mw.fork_join", cursor + backbone, span,
+                    category="fork_join", track="master", step=step,
+                    layer=layer, direction="fwd", comm_s=comm_part,
+                    compute_s=compute_part)
             total += backbone + span
             comm += comm_part
             compute += backbone + compute_part
 
         head = self.master.head_time(tokens) + \
             self.master.head_time(tokens, backward=True)
+        if telemetry is not None:
+            telemetry.record_span("mw.head", t0 + total, head,
+                                  category="head", track="master", step=step)
         total += head
         compute += head
 
@@ -92,6 +166,16 @@ class OverlappedMasterWorkerEngine(MasterWorkerEngine):
             comm += comm_part
             compute += compute_part
             backbone = self.master.backbone_layer_time(tokens, backward=True)
+            if telemetry is not None:
+                telemetry.record_span(
+                    "mw.fork_join", t0 + master_clock, span,
+                    category="fork_join", track="exchange", step=step,
+                    layer=layer, direction="bwd", comm_s=comm_part,
+                    compute_s=compute_part)
+                telemetry.record_span(
+                    "mw.backbone", t0 + master_clock, backbone,
+                    category="backbone", track="master", step=step,
+                    layer=layer, direction="bwd")
             master_clock += backbone
             compute += backbone
         total = max(master_clock, outstanding_finish)
@@ -101,8 +185,18 @@ class OverlappedMasterWorkerEngine(MasterWorkerEngine):
         worker_opt = max(w.optimizer_time(
             lora_expert_param_count(self.config, self.lora_rank))
             for w in self.workers)
+        if telemetry is not None:
+            cursor = t0 + total
+            telemetry.record_span("mw.optimizer.master", cursor, optimizer,
+                                  category="optimizer", track="master",
+                                  step=step)
+            telemetry.record_span("mw.optimizer.worker", cursor + optimizer,
+                                  worker_opt, category="optimizer",
+                                  track="master", step=step)
         total += optimizer + worker_opt
         compute += optimizer + worker_opt
+        if telemetry is not None:
+            self._telemetry_now = t0 + total
 
         for worker in self.workers:
             worker.end_step()

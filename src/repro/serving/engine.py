@@ -25,6 +25,7 @@ from ..models.transformer import MoETransformer
 from ..nn.tensor import no_grad
 from ..routing.synthetic import SyntheticRouter
 from ..runtime.flops import FlopModel
+from ..telemetry import Telemetry
 from .cache import ExpertCache
 
 
@@ -82,14 +83,20 @@ class LiveDecodeEngine:
     default; ``"reference"`` stays selectable for A/B runs).  Routing records
     keep flowing, so the decode stream can still feed locality profiling and
     the cache simulators above.
+
+    With ``telemetry=``, every generated token records a wall-clock
+    ``serve.decode_token`` span on the ``decode`` track and feeds the
+    ``serve.token_latency_s`` histogram (mean/p50/p99 in the summary table).
     """
 
-    def __init__(self, model: MoETransformer, dispatch: str = "fused"):
+    def __init__(self, model: MoETransformer, dispatch: str = "fused",
+                 telemetry: Optional[Telemetry] = None):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
         self.model = model
         self.model.set_dispatch_mode(dispatch)
+        self.telemetry = telemetry
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int) -> np.ndarray:
         """Greedily decode ``num_tokens`` continuations of ``prompt_ids``.
@@ -114,12 +121,22 @@ class LiveDecodeEngine:
         self.model.eval()
         self.model.set_record_probs(False)
         ids = prompt_ids
+        telemetry = self.telemetry
+        clock = telemetry.tracer.clock if telemetry is not None else None
         try:
             with no_grad():
-                for _ in range(num_tokens):
+                for token in range(num_tokens):
+                    start = clock.now() if clock is not None else 0.0
                     logits = self.model(ids)
                     next_ids = np.argmax(logits.data[:, -1, :], axis=-1)
                     ids = np.concatenate([ids, next_ids[:, None]], axis=1)
+                    if telemetry is not None:
+                        elapsed = clock.now() - start
+                        telemetry.record_span(
+                            "serve.decode_token", start, elapsed,
+                            category="decode", track="decode", token=token)
+                        telemetry.histogram(
+                            "serve.token_latency_s").observe(elapsed)
         finally:
             self.model.train(was_training)
             for moe, previous in zip(moe_blocks, previous_probs):

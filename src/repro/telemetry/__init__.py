@@ -1,0 +1,37 @@
+"""Zero-dependency tracing + metrics for every execution path in the repo.
+
+One :class:`Telemetry` object is threaded (as an optional ``telemetry=``
+argument, default ``None``) through the simulation engines, the expert
+broker, the live trainer, and the serving engines.  It collects:
+
+* **spans** — nestable timed phases on named tracks.  Simulation engines
+  record *model time* (the simulated seconds their cost models produce);
+  live paths record *wall time*.
+* **counters / gauges / histograms** — labeled instruments (bytes on the
+  wire per (layer, expert, worker) edge, per-step loss, per-token decode
+  latency).
+
+Exporters turn one run into a ``chrome://tracing`` / Perfetto JSON
+timeline, a flat CSV, or a plain-text summary table.  Span naming
+conventions and worked examples live in ``docs/OBSERVABILITY.md``.
+
+The subsystem is dependency-free (standard library only) and inert by
+default: with ``telemetry=None`` every instrumented hot path pays exactly
+one attribute check.
+"""
+
+from .clock import Clock, SimulatedClock, WallClock
+from .export import (chrome_trace_events, summary_table, write_chrome_trace,
+                     write_csv)
+from .instruments import Counter, Gauge, Histogram, labels_key
+from .registry import Registry, SpanRecord
+from .tracer import Telemetry, Tracer
+
+__all__ = [
+    "Telemetry", "Tracer",
+    "Clock", "WallClock", "SimulatedClock",
+    "Registry", "SpanRecord",
+    "Counter", "Gauge", "Histogram", "labels_key",
+    "chrome_trace_events", "write_chrome_trace", "write_csv",
+    "summary_table",
+]

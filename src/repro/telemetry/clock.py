@@ -1,0 +1,71 @@
+"""Clocks for the tracer: wall time for real runs, simulated model time
+for the analytic/DES engines.
+
+The tracing subsystem never asks "what time is it" directly — it asks a
+:class:`Clock`.  Real code (the live trainer, the decode engine) uses
+:class:`WallClock`; the simulation engines either advance a
+:class:`SimulatedClock` as their model-time cursor or bypass the clock
+entirely with :meth:`~repro.telemetry.Tracer.record_span`, which takes
+explicit ``(start, duration)`` pairs in model seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal clock protocol: a monotonically non-decreasing ``now()``."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin is clock-specific)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real elapsed time (``time.perf_counter``), origin at construction.
+
+    Subtracting the construction instant keeps exported trace timestamps
+    small and run-relative, which is what ``chrome://tracing`` expects.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds since this clock was created."""
+        return time.perf_counter() - self._origin
+
+
+class SimulatedClock(Clock):
+    """Manually-advanced model time for discrete-event / analytic engines.
+
+    The engines compute phase durations analytically; a simulated clock lets
+    them lay those phases on a continuous timeline across steps:
+
+    >>> clock = SimulatedClock()
+    >>> clock.advance(1.5)
+    1.5
+    >>> clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current model time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move model time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, seconds: float) -> None:
+        """Jump to an absolute model time (must not move backwards)."""
+        if seconds < self._now:
+            raise ValueError("cannot set a clock backwards")
+        self._now = float(seconds)

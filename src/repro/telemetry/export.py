@@ -1,0 +1,151 @@
+"""Exporters: Chrome-trace JSON, flat CSV, and a human-readable summary.
+
+The Chrome format is the ``traceEvents`` JSON consumed by
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): complete
+``"ph": "X"`` events with microsecond timestamps, one *process* per
+registry (so one file can hold, say, a master-worker engine and an EP
+engine side by side) and one *thread* per track (master, worker-0, ...).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .registry import Registry
+
+
+def chrome_trace_events(registry: Registry, process: str = "repro",
+                        pid: int = 1) -> List[dict]:
+    """Build the ``traceEvents`` list for one registry.
+
+    Span times are converted from seconds to the format's microseconds.
+    Tracks become threads, ordered by first appearance; metadata events
+    name the process and each thread so the viewer shows real labels.
+    """
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process},
+    }]
+    tids: Dict[str, int] = {}
+    for span in registry.spans:
+        tid = tids.get(span.track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[span.track] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": span.track},
+            })
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(span.labels),
+        })
+    return events
+
+
+def write_chrome_trace(path, *registries: Registry,
+                       names: Optional[Sequence[str]] = None) -> None:
+    """Write one Chrome-trace JSON covering any number of registries.
+
+    Each registry becomes its own process (``pid`` 1..K, named from
+    ``names`` when given), so multi-engine comparisons load as side-by-side
+    process groups in the trace viewer.
+    """
+    events: List[dict] = []
+    for index, registry in enumerate(registries):
+        name = (names[index] if names is not None and index < len(names)
+                else f"registry-{index}")
+        events.extend(chrome_trace_events(registry, process=name,
+                                          pid=index + 1))
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+
+
+CSV_COLUMNS = ["kind", "name", "category", "track", "start_s", "duration_s",
+               "depth", "value", "count", "labels"]
+
+
+def _labels_str(labels: dict) -> str:
+    return ";".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def write_csv(path, registry: Registry) -> None:
+    """Write every span and instrument as one flat CSV.
+
+    Spans fill the timing columns; counters/gauges fill ``value``;
+    histograms fill ``value`` (sum) and ``count``.  Labels are serialized
+    as sorted ``k=v`` pairs joined by ``;``.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for span in registry.spans:
+            writer.writerow(["span", span.name, span.category, span.track,
+                             repr(span.start), repr(span.duration),
+                             span.depth, "", "", _labels_str(span.labels)])
+        for instrument in registry.instruments():
+            if instrument.kind == "histogram":
+                value, count = instrument.total, instrument.count
+            else:
+                value, count = instrument.value, ""
+            writer.writerow([instrument.kind, instrument.name, "", "", "",
+                             "", "", repr(value), count,
+                             _labels_str(instrument.labels)])
+
+
+def _format_rows(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    table = [[str(c) for c in row] for row in [headers, *rows]]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+             for row in table]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summary_table(registry: Registry) -> str:
+    """Aggregate view: span time per (track, category) plus instruments."""
+    sections: List[str] = []
+
+    span_agg: Dict[tuple, List[float]] = {}
+    for span in registry.spans:
+        agg = span_agg.setdefault((span.track, span.category), [0, 0.0])
+        agg[0] += 1
+        agg[1] += span.duration
+    if span_agg:
+        rows = [[track, category, count, f"{total:.6f}"]
+                for (track, category), (count, total)
+                in sorted(span_agg.items())]
+        sections.append("spans:\n" + _format_rows(
+            ["track", "category", "count", "total_s"], rows))
+
+    counter_rows = [[c.name, _labels_str(c.labels) or "-", f"{c.value:.6g}"]
+                    for c in registry.instruments("counter")]
+    if counter_rows:
+        sections.append("counters:\n" + _format_rows(
+            ["name", "labels", "value"], counter_rows))
+
+    gauge_rows = [[g.name, _labels_str(g.labels) or "-", f"{g.value:.6g}",
+                   g.updates] for g in registry.instruments("gauge")]
+    if gauge_rows:
+        sections.append("gauges:\n" + _format_rows(
+            ["name", "labels", "last", "updates"], gauge_rows))
+
+    hist_rows = [[h.name, _labels_str(h.labels) or "-", h.count,
+                  f"{h.mean():.6g}", f"{h.quantile(0.5):.6g}",
+                  f"{h.quantile(0.99):.6g}"]
+                 for h in registry.instruments("histogram")]
+    if hist_rows:
+        sections.append("histograms:\n" + _format_rows(
+            ["name", "labels", "count", "mean", "p50", "p99"], hist_rows))
+
+    return "\n\n".join(sections) if sections else "(no telemetry recorded)"

@@ -1,0 +1,118 @@
+"""Metric instruments: counters, gauges, and histograms with label sets.
+
+Instruments are created through the :class:`~repro.telemetry.Registry`
+(get-or-create keyed by ``(kind, name, labels)``); each instance guards its
+own state with a lock so concurrent trainer callbacks or worker threads can
+update the same instrument safely.  Everything here is pure standard
+library — the telemetry subsystem stays importable with no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def labels_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical hashable form of a label set (sorted by label name)."""
+    return tuple(sorted(labels.items()))
+
+
+class Instrument:
+    """Common base: a name, an immutable label set, and a lock."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.labels!r})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total (bytes sent, tokens dispatched)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def add(self, amount: float) -> None:
+        """Increment by a non-negative amount."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        with self._lock:
+            self.value += float(amount)
+
+
+class Gauge(Instrument):
+    """A last-value instrument (loss, gradient norm, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            self.value = float(value)
+            self.updates += 1
+
+
+class Histogram(Instrument):
+    """A distribution of observations (per-token decode latency).
+
+    Observations are retained individually — the expected cardinality is
+    thousands per run, far below the cost of the simulations producing
+    them — so exact quantiles are available without bucket-boundary tuning.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        super().__init__(name, labels)
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self.values)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile by linear interpolation (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac

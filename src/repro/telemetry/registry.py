@@ -1,0 +1,127 @@
+"""The in-memory telemetry store: finished spans plus metric instruments.
+
+A :class:`Registry` is the single sink everything records into.  It is
+thread-safe (one lock guards span appends and instrument creation;
+instruments lock their own updates) and deliberately dumb: no aggregation
+happens at record time, so recording stays cheap and every exporter sees
+the raw events.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .instruments import Counter, Gauge, Histogram, Instrument, labels_key
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span on the trace timeline.
+
+    ``start``/``duration`` are seconds on the tracer's clock (wall or model
+    time); ``track`` names the timeline row (e.g. ``master``, ``worker-3``);
+    ``depth`` is the nesting level at record time; ``labels`` carries
+    arbitrary structured context (``step``, ``layer``, ``direction``, ...).
+    """
+
+    name: str
+    category: str
+    track: str
+    start: float
+    duration: float
+    depth: int = 0
+    labels: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """Span end time in seconds."""
+        return self.start + self.duration
+
+
+class Registry:
+    """Thread-safe container for spans, counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._instruments: Dict[Tuple[str, str, tuple], Instrument] = {}
+
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+    def add_span(self, span: SpanRecord) -> None:
+        """Append one finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """Snapshot list of finished spans (record order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def span_total(self, category: Optional[str] = None,
+                   **label_filter: Any) -> float:
+        """Summed duration of spans matching a category and label subset."""
+        total = 0.0
+        for span in self.spans:
+            if category is not None and span.category != category:
+                continue
+            if any(span.labels.get(k) != v for k, v in label_filter.items()):
+                continue
+            total += span.duration
+        return total
+
+    # ------------------------------------------------------------------ #
+    # instruments
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name: str,
+                       labels: Dict[str, Any]) -> Instrument:
+        key = (cls.kind, name, labels_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, labels)
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter for this (name, label set)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge for this (name, label set)."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create the histogram for this (name, label set)."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def instruments(self, kind: Optional[str] = None) -> Iterator[Instrument]:
+        """Iterate instruments in creation order, optionally by kind."""
+        with self._lock:
+            items = list(self._instruments.values())
+        for instrument in items:
+            if kind is None or instrument.kind == kind:
+                yield instrument
+
+    def counter_total(self, name: str, **label_filter: Any) -> float:
+        """Sum of all counters with this name matching a label subset."""
+        total = 0.0
+        for instrument in self.instruments("counter"):
+            if instrument.name != name:
+                continue
+            if any(instrument.labels.get(k) != v
+                   for k, v in label_filter.items()):
+                continue
+            total += instrument.value
+        return total
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every span and instrument."""
+        with self._lock:
+            self._spans.clear()
+            self._instruments.clear()

@@ -1,0 +1,136 @@
+"""The tracer and the :class:`Telemetry` facade the rest of the repo uses.
+
+Two recording styles cover both execution worlds:
+
+* ``with tracer.span("trainer.forward", step=3): ...`` — clock-driven, for
+  real code (the live trainer, decode engines).  Nesting is tracked per
+  thread and recorded as the span's ``depth``.
+* ``tracer.record_span("mw.fork_join", start=t, duration=d, ...)`` — for
+  the simulation engines, which compute phase durations analytically and
+  place them on a *model-time* timeline themselves.
+
+Everything lands in one :class:`~repro.telemetry.Registry`, so a single
+export call produces a Chrome trace / CSV / summary covering spans from
+both worlds plus every counter, gauge, and histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .clock import Clock, WallClock
+from .export import (chrome_trace_events, summary_table, write_chrome_trace,
+                     write_csv)
+from .instruments import Counter, Gauge, Histogram
+from .registry import Registry, SpanRecord
+
+
+class Tracer:
+    """Records spans into a registry, against a wall or simulated clock."""
+
+    def __init__(self, registry: Registry, clock: Optional[Clock] = None):
+        self.registry = registry
+        self.clock = clock if clock is not None else WallClock()
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def span(self, name: str, category: str = "default",
+             track: str = "main", **labels: Any) -> Iterator[None]:
+        """Clock-timed span context manager (nestable, per-thread depth)."""
+        depth = self._depth()
+        self._local.depth = depth + 1
+        start = self.clock.now()
+        try:
+            yield
+        finally:
+            duration = self.clock.now() - start
+            self._local.depth = depth
+            self.registry.add_span(SpanRecord(
+                name=name, category=category, track=track, start=start,
+                duration=duration, depth=depth, labels=labels))
+
+    def record_span(self, name: str, start: float, duration: float,
+                    category: str = "default", track: str = "main",
+                    depth: int = 0, **labels: Any) -> None:
+        """Record a span with explicit model-time ``(start, duration)``."""
+        if duration < 0:
+            raise ValueError("span duration must be non-negative")
+        self.registry.add_span(SpanRecord(
+            name=name, category=category, track=track, start=start,
+            duration=duration, depth=depth, labels=labels))
+
+
+class Telemetry:
+    """One-stop facade: a registry, a tracer, instruments, and exporters.
+
+    This is the object threaded through the engines, trainer, and serving
+    paths as the ``telemetry=`` argument; ``None`` (the default everywhere)
+    keeps the instrumented code on a single attribute-check fast path.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.registry = Registry()
+        self.tracer = Tracer(self.registry, clock)
+
+    # -- recording ------------------------------------------------------ #
+    def span(self, name: str, category: str = "default",
+             track: str = "main", **labels: Any):
+        """Clock-timed span context manager (see :meth:`Tracer.span`)."""
+        return self.tracer.span(name, category=category, track=track,
+                                **labels)
+
+    def record_span(self, name: str, start: float, duration: float,
+                    category: str = "default", track: str = "main",
+                    depth: int = 0, **labels: Any) -> None:
+        """Explicit model-time span (see :meth:`Tracer.record_span`)."""
+        self.tracer.record_span(name, start, duration, category=category,
+                                track=track, depth=depth, **labels)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter."""
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a gauge."""
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create a histogram."""
+        return self.registry.histogram(name, **labels)
+
+    # -- queries -------------------------------------------------------- #
+    @property
+    def spans(self):
+        """Snapshot of finished spans."""
+        return self.registry.spans
+
+    def span_total(self, category: Optional[str] = None,
+                   **label_filter: Any) -> float:
+        """Summed span durations by category/labels."""
+        return self.registry.span_total(category, **label_filter)
+
+    def counter_total(self, name: str, **label_filter: Any) -> float:
+        """Summed counter values by name/labels."""
+        return self.registry.counter_total(name, **label_filter)
+
+    # -- export --------------------------------------------------------- #
+    def chrome_trace_events(self, process: str = "repro") -> list:
+        """Chrome ``traceEvents`` list for this registry."""
+        return chrome_trace_events(self.registry, process=process)
+
+    def export_chrome_trace(self, path, process: str = "repro") -> None:
+        """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""
+        write_chrome_trace(path, self.registry, names=[process])
+
+    def export_csv(self, path) -> None:
+        """Write the flat CSV of spans and instruments."""
+        write_csv(path, self.registry)
+
+    def summary(self) -> str:
+        """Human-readable per-category/instrument summary table."""
+        return summary_table(self.registry)

@@ -1,0 +1,271 @@
+"""Unit tests for the repro.telemetry subsystem.
+
+Covers the tentpole contracts: span nesting depth, instrument label
+cardinality (get-or-create identity), simulated vs wall clocks, and
+exporter round-trips (Chrome trace JSON, CSV, summary table).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (Counter, Gauge, Histogram, Registry,
+                             SimulatedClock, SpanRecord, Telemetry, WallClock,
+                             chrome_trace_events, labels_key,
+                             write_chrome_trace, write_csv)
+
+
+# --------------------------------------------------------------------- #
+# clocks
+# --------------------------------------------------------------------- #
+class TestClocks:
+    def test_simulated_clock_advances(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        assert clock.advance(1.5) == 1.5
+        clock.set(4.0)
+        assert clock.now() == 4.0
+
+    def test_simulated_clock_never_goes_backwards(self):
+        clock = SimulatedClock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+    def test_wall_clock_is_monotonic_and_run_relative(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert 0.0 <= first <= second < 60.0
+
+
+# --------------------------------------------------------------------- #
+# spans and nesting
+# --------------------------------------------------------------------- #
+class TestSpans:
+    def test_with_span_nesting_records_depth(self):
+        tel = Telemetry(clock=SimulatedClock())
+        with tel.span("outer", category="a"):
+            tel.tracer.clock.advance(1.0)
+            with tel.span("inner", category="b"):
+                tel.tracer.clock.advance(0.25)
+        spans = {s.name: s for s in tel.spans}
+        assert spans["inner"].depth == 1
+        assert spans["outer"].depth == 0
+        # Inner finishes first (innermost exits its context manager first).
+        assert [s.name for s in tel.spans] == ["inner", "outer"]
+        assert spans["inner"].duration == pytest.approx(0.25)
+        assert spans["outer"].duration == pytest.approx(1.25)
+        assert spans["inner"].start == pytest.approx(1.0)
+
+    def test_record_span_explicit_model_time(self):
+        tel = Telemetry()
+        tel.record_span("phase", 2.0, 0.5, category="compute",
+                        track="worker-1", step=3)
+        (span,) = tel.spans
+        assert span.end == pytest.approx(2.5)
+        assert span.track == "worker-1"
+        assert span.labels == {"step": 3}
+
+    def test_record_span_rejects_negative_duration(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            tel.record_span("bad", 0.0, -1.0)
+
+    def test_span_total_filters_by_category_and_labels(self):
+        tel = Telemetry()
+        tel.record_span("a", 0.0, 1.0, category="comm", step=0)
+        tel.record_span("b", 1.0, 2.0, category="comm", step=1)
+        tel.record_span("c", 3.0, 4.0, category="compute", step=0)
+        assert tel.span_total("comm") == pytest.approx(3.0)
+        assert tel.span_total("comm", step=1) == pytest.approx(2.0)
+        assert tel.span_total() == pytest.approx(7.0)
+
+    def test_nesting_depth_is_per_thread(self):
+        tel = Telemetry(clock=SimulatedClock())
+        depths = []
+
+        def record(name):
+            with tel.span(name):
+                depths.append(name)
+
+        threads = [threading.Thread(target=record, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(s.depth == 0 for s in tel.spans)
+        assert len(tel.spans) == 4
+
+
+# --------------------------------------------------------------------- #
+# instruments and label cardinality
+# --------------------------------------------------------------------- #
+class TestInstruments:
+    def test_labels_key_is_order_insensitive(self):
+        assert labels_key({"b": 2, "a": 1}) == labels_key({"a": 1, "b": 2})
+
+    def test_counter_get_or_create_identity_per_label_set(self):
+        registry = Registry()
+        a = registry.counter("bytes", layer=0, expert=1)
+        b = registry.counter("bytes", expert=1, layer=0)   # same labels
+        c = registry.counter("bytes", layer=0, expert=2)   # different labels
+        assert a is b
+        assert a is not c
+        a.add(10.0)
+        b.add(5.0)
+        assert a.value == pytest.approx(15.0)
+        assert registry.counter_total("bytes") == pytest.approx(15.0)
+        assert registry.counter_total("bytes", expert=1) == pytest.approx(15.0)
+        assert registry.counter_total("bytes", expert=2) == pytest.approx(0.0)
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("c", {})
+        with pytest.raises(ValueError):
+            counter.add(-1.0)
+
+    def test_same_name_different_kind_coexist(self):
+        registry = Registry()
+        registry.counter("x").add(1.0)
+        registry.gauge("x").set(2.0)
+        kinds = {i.kind for i in registry.instruments()}
+        assert kinds == {"counter", "gauge"}
+
+    def test_gauge_tracks_last_value_and_updates(self):
+        gauge = Gauge("loss", {})
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == pytest.approx(1.5)
+        assert gauge.updates == 2
+
+    def test_histogram_quantiles_exact(self):
+        hist = Histogram("lat", {})
+        for v in (4.0, 1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean() == pytest.approx(2.5)
+        assert hist.quantile(0.0) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        assert hist.quantile(0.5) == pytest.approx(2.5)
+
+    def test_histogram_empty_and_bad_quantile(self):
+        hist = Histogram("lat", {})
+        assert hist.mean() == 0.0
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_high_cardinality_counters_stay_distinct(self):
+        # The broker records (layer, expert, worker) edges: L x E entries.
+        registry = Registry()
+        for layer in range(32):
+            for expert in range(8):
+                registry.counter("broker.dispatch_bytes", layer=layer,
+                                 expert=expert, worker=expert % 4).add(1.0)
+        counters = list(registry.instruments("counter"))
+        assert len(counters) == 32 * 8
+        assert registry.counter_total("broker.dispatch_bytes") == \
+            pytest.approx(256.0)
+        assert registry.counter_total("broker.dispatch_bytes", worker=0) == \
+            pytest.approx(64.0)
+
+    def test_clear_drops_everything(self):
+        registry = Registry()
+        registry.counter("x").add(1.0)
+        registry.add_span(SpanRecord("s", "c", "t", 0.0, 1.0))
+        registry.clear()
+        assert registry.spans == []
+        assert list(registry.instruments()) == []
+
+
+# --------------------------------------------------------------------- #
+# exporters
+# --------------------------------------------------------------------- #
+def _sample_telemetry() -> Telemetry:
+    tel = Telemetry()
+    tel.record_span("mw.backbone", 0.0, 1.0, category="backbone",
+                    track="master", step=0, layer=0, direction="fwd")
+    tel.record_span("mw.fork_join", 1.0, 0.5, category="fork_join",
+                    track="master", step=0, layer=0, direction="fwd",
+                    comm_s=0.3, compute_s=0.2)
+    tel.record_span("des.expert", 0.25, 0.75, category="expert",
+                    track="worker-1", step=0, layer=0, direction="fwd")
+    tel.counter("comm.bytes", link="nic").add(4096.0)
+    tel.gauge("train.loss").set(2.5)
+    tel.histogram("serve.token_latency_s").observe(0.01)
+    tel.histogram("serve.token_latency_s").observe(0.03)
+    return tel
+
+
+class TestExporters:
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tel = _sample_telemetry()
+        path = tmp_path / "trace.json"
+        tel.export_chrome_trace(path, process="test-run")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        # Span seconds -> microseconds; labels become args.
+        fork = next(e for e in complete if e["name"] == "mw.fork_join")
+        assert fork["ts"] == pytest.approx(1.0e6)
+        assert fork["dur"] == pytest.approx(0.5e6)
+        assert fork["args"]["comm_s"] == pytest.approx(0.3)
+        # One process_name plus one thread_name per track.
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "test-run") in names
+        assert ("thread_name", "master") in names
+        assert ("thread_name", "worker-1") in names
+
+    def test_multi_registry_chrome_trace_gets_distinct_pids(self, tmp_path):
+        tel_a, tel_b = _sample_telemetry(), _sample_telemetry()
+        path = tmp_path / "combined.json"
+        write_chrome_trace(path, tel_a.registry, tel_b.registry,
+                           names=["engine-a", "engine-b"])
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {1, 2}
+        process_names = {e["args"]["name"] for e in events
+                         if e.get("name") == "process_name"}
+        assert process_names == {"engine-a", "engine-b"}
+
+    def test_chrome_events_without_file(self):
+        events = chrome_trace_events(_sample_telemetry().registry)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_csv_round_trip(self, tmp_path):
+        tel = _sample_telemetry()
+        path = tmp_path / "telemetry.csv"
+        tel.export_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        spans = [r for r in rows if r["kind"] == "span"]
+        counters = [r for r in rows if r["kind"] == "counter"]
+        hists = [r for r in rows if r["kind"] == "histogram"]
+        assert len(spans) == 3 and len(counters) == 1 and len(hists) == 1
+        fork = next(r for r in spans if r["name"] == "mw.fork_join")
+        # repr round-trip: float(repr(x)) == x exactly.
+        assert float(fork["start_s"]) == 1.0
+        assert float(fork["duration_s"]) == 0.5
+        assert "comm_s=0.3" in fork["labels"]
+        assert float(counters[0]["value"]) == 4096.0
+        assert counters[0]["labels"] == "link=nic"
+        assert int(hists[0]["count"]) == 2
+
+    def test_summary_table_sections(self):
+        text = _sample_telemetry().summary()
+        assert "spans:" in text
+        assert "counters:" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "comm.bytes" in text
+        assert "worker-1" in text
+
+    def test_summary_empty(self):
+        assert Telemetry().summary() == "(no telemetry recorded)"

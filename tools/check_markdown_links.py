@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans every ``*.md`` in the repository (skipping hidden directories),
+extracts inline ``[text](target)`` links outside fenced code blocks, and
+verifies that each relative target — minus any ``#anchor`` — exists on
+disk.  External links (``http(s)://``, ``mailto:``) and pure in-page
+anchors are ignored.  Exits non-zero listing every broken link, so the CI
+docs job fails when a rename orphans a reference.
+
+Usage::
+
+    python tools/check_markdown_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fenced_blocks(text: str) -> str:
+    """Drop fenced code blocks so code samples can't produce false links."""
+    kept, fence = [], None
+    for line in text.splitlines():
+        match = FENCE_RE.match(line.strip())
+        if match:
+            fence = None if fence else match.group(1)
+            continue
+        if fence is None:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return ``(line_text, target)`` pairs for every broken link."""
+    broken = []
+    for target in LINK_RE.findall(strip_fenced_blocks(path.read_text())):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((str(path.relative_to(root)), target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else \
+        Path(__file__).resolve().parent.parent
+    broken, checked = [], 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} files:")
+        for source, target in broken:
+            print(f"  {source}: ({target})")
+        return 1
+    print(f"all intra-repo links resolve ({checked} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
