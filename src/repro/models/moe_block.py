@@ -31,9 +31,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..nn.functional import index_select
-from ..nn.layers import Module
-from ..nn.tensor import Tensor
+from ..nn.functional import index_select, swiglu_infer, top_k
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor, is_grad_enabled
 from .expert import ExpertFFN
 from .gating import GateOutput, TopKGate
 
@@ -223,6 +223,9 @@ class MoEBlock(Module):
     def forward(self, x: Tensor) -> Tensor:
         """Apply the block to ``(batch, seq, hidden)`` input."""
         batch, seq, hidden = x.shape
+        if (seq == 1 and self.dispatch == "fused" and not is_grad_enabled()
+                and self._decode_fusable()):
+            return self._forward_decode(x)
         tokens = x.reshape(batch * seq, hidden)
         gate_out: GateOutput = self.gate(tokens)
         self.last_aux_loss = gate_out.aux_loss
@@ -232,6 +235,62 @@ class MoEBlock(Module):
 
         output = self._dispatch_combine(tokens, gate_out)
         return output.reshape(batch, seq, hidden)
+
+    def _decode_fusable(self) -> bool:
+        # The raw decode path reads weight matrices directly, so the gate
+        # router and every expert must carry the stock bias-free Linear
+        # layout (LoRA injection and future variants fall back to the
+        # generic dispatch, which handles any module).
+        if not (type(self.gate.router) is Linear
+                and self.gate.router.bias is None):
+            return False
+        return all(e._fusable() for e in self.experts)
+
+    def _forward_decode(self, x: Tensor) -> Tensor:
+        """Single-token fast path of the fused dispatch (``seq_len == 1``).
+
+        One decode step routes ``batch`` tokens, each to ``top_k`` experts —
+        far too few rows for the sort → segment machinery to pay off.  The
+        gate runs as a raw ``(batch, 1, experts)`` top-k (matmul + stable
+        softmax + :func:`repro.nn.functional.top_k`) and the combine
+        accumulates the ≤ ``batch * top_k`` expert applications slot by
+        slot, in the exact slot order the fused combine sums, so outputs
+        track the batched path bit for bit up to GEMM-shape rounding.
+        Inference-only (gated on gradients being disabled); routing records
+        keep flowing so decode streams still feed locality profiling.
+        """
+        batch, _, hidden = x.shape
+        tokens = x.data.reshape(batch, hidden)
+        logits = tokens @ self.gate.router.weight.data.T
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        probs = shifted / shifted.sum(axis=-1, keepdims=True)
+        selected, indices = top_k(probs, self.top_k, axis=-1)
+        combine = selected / selected.sum(axis=1, keepdims=True)
+
+        self.last_aux_loss = None
+        if self.record_routing:
+            self.last_record = BlockRoutingRecord(
+                layer=self.layer_index,
+                expert_indices=indices.copy(),
+                selected_scores=selected.copy(),
+                probs=probs.copy() if self.record_probs else None,
+            )
+
+        out = np.zeros_like(tokens)
+        for slot in range(self.top_k):
+            slot_experts = indices[:, slot]
+            for expert_id in np.unique(slot_experts):
+                expert = self.experts[int(expert_id)]
+                weights = (expert.w_gate.weight.data, expert.w_up.weight.data,
+                           expert.w_down.weight.data)
+                if batch == 1:
+                    out += combine[0, slot] * swiglu_infer(tokens, *weights)
+                else:
+                    rows = np.nonzero(slot_experts == expert_id)[0]
+                    out[rows] += combine[rows, slot][:, None] * \
+                        swiglu_infer(tokens[rows], *weights)
+        return Tensor(out.reshape(batch, 1, hidden))
 
     def _dispatch_combine(self, tokens: Tensor, gate_out: GateOutput) -> Tensor:
         """Send tokens through their selected experts and combine the results."""

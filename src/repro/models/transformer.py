@@ -13,10 +13,10 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..nn.attention import MultiHeadAttention
+from ..nn.attention import KVCache, MultiHeadAttention
 from ..nn.functional import cross_entropy
 from ..nn.layers import Embedding, Linear, Module, Parameter, RMSNorm
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
 from .config import MoEModelConfig
 from .expert import ExpertFFN
 from .moe_block import BlockRoutingRecord, MoEBlock
@@ -40,6 +40,17 @@ class TransformerBlock(Module):
     def forward(self, x: Tensor) -> Tensor:
         """Run the forward computation."""
         x = x + self.attn(self.attn_norm(x))
+        x = x + self.moe(self.ffn_norm(x))
+        return x
+
+    def forward_incremental(self, x: Tensor, cache: KVCache) -> Tensor:
+        """Process only the new positions in ``x``, attending via ``cache``.
+
+        The MoE FFN is position-local, so only attention needs the cache;
+        a single-token step automatically takes the fused dispatch's
+        ``seq_len == 1`` fast path inside :class:`MoEBlock`.
+        """
+        x = x + self.attn.forward_incremental(self.attn_norm(x), cache)
         x = x + self.moe(self.ffn_norm(x))
         return x
 
@@ -80,6 +91,60 @@ class MoETransformer(Module):
         x = self.token_embedding(token_ids) + self.position_embedding[:seq]
         for block in self.blocks:
             x = block(x)
+        return self.lm_head(self.final_norm(x))
+
+    def new_kv_caches(self, batch: int,
+                      max_len: Optional[int] = None) -> List[KVCache]:
+        """Allocate one :class:`~repro.nn.attention.KVCache` per block.
+
+        ``max_len`` bounds the total sequence (prompt + generation) the
+        caches can hold; it defaults to, and may not exceed, the model's
+        ``max_seq_len``.  Pass the caches to :meth:`forward_incremental`.
+        """
+        config = self.config
+        if max_len is None:
+            max_len = config.max_seq_len
+        if not 1 <= max_len <= config.max_seq_len:
+            raise ValueError(f"max_len {max_len} out of range (1, "
+                             f"{config.max_seq_len})")
+        head_dim = config.hidden_size // config.num_heads
+        return [KVCache(batch, max_len, config.num_heads, head_dim)
+                for _ in self.blocks]
+
+    def forward_incremental(self, token_ids: np.ndarray,
+                            caches: List[KVCache]) -> Tensor:
+        """Next-token logits for only the *new* ``token_ids``.
+
+        ``token_ids`` is ``(batch, seq)`` holding positions
+        ``[cache.position, cache.position + seq)`` — the whole prompt on
+        the prefill pass, one token per decode step.  ``caches`` comes from
+        :meth:`new_kv_caches` and is advanced in place.  Inference-only
+        (requires gradients disabled); with a full-sequence prefill the
+        logits match :meth:`forward` bit for bit, and per-step logits
+        agree to ~1e-12 in float64.
+        """
+        if is_grad_enabled():
+            raise RuntimeError("forward_incremental is inference-only; "
+                               "wrap the decode loop in no_grad()")
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"expected (batch, seq) token ids, got "
+                             f"{token_ids.shape}")
+        if len(caches) != len(self.blocks):
+            raise ValueError(f"expected {len(self.blocks)} KV caches, "
+                             f"got {len(caches)}")
+        position = caches[0].position
+        if any(c.position != position for c in caches):
+            raise ValueError("KV caches are out of sync (differing fill "
+                             "cursors); allocate a fresh set per sequence")
+        seq = token_ids.shape[1]
+        if position + seq > self.config.max_seq_len:
+            raise ValueError(f"position {position} + new tokens {seq} "
+                             f"exceeds max_seq_len {self.config.max_seq_len}")
+        x = self.token_embedding(token_ids) + \
+            self.position_embedding[position:position + seq]
+        for block, cache in zip(self.blocks, caches):
+            x = block.forward_incremental(x, cache)
         return self.lm_head(self.final_norm(x))
 
     def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:

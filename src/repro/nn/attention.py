@@ -1,9 +1,11 @@
-"""Multi-head self-attention with causal masking.
+"""Multi-head self-attention with causal masking and KV-cached decoding.
 
-This is the attention block of the backbone transformer.  It is deliberately
-simple (no KV caching, no rotary embeddings beyond a learned positional
-embedding in the model) because the reproduction's claims concern the MoE
-routing layers, not attention throughput.
+This is the attention block of the backbone transformer.  Training and
+full-sequence inference go through :meth:`MultiHeadAttention.forward`;
+the serving path decodes incrementally through a :class:`KVCache` and
+:meth:`MultiHeadAttention.forward_incremental`, which projects only the
+*new* positions and attends against the cached key/value prefix — the
+O(T) half of the prefill/decode split (`docs/ARCHITECTURE.md` § Serving).
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import numpy as np
 
 from .functional import softmax
 from .layers import Linear, Module
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, is_grad_enabled
 
 
 def causal_mask(seq_len: int) -> np.ndarray:
@@ -25,6 +27,78 @@ def causal_mask(seq_len: int) -> np.ndarray:
     """
     mask = np.triu(np.ones((seq_len, seq_len)), k=1) * -1e9
     return mask
+
+
+def incremental_causal_mask(seq_len: int, total_len: int,
+                            offset: int) -> np.ndarray:
+    """Additive causal mask for a query block starting at ``offset``.
+
+    Shape ``(seq_len, total_len)``: query row ``i`` (absolute position
+    ``offset + i``) may attend key columns ``j <= offset + i``.  With
+    ``offset == 0`` and ``total_len == seq_len`` this is exactly
+    :func:`causal_mask`, so a prefill pass reproduces the full forward's
+    masking bit for bit.
+    """
+    cols = np.arange(total_len)
+    rows = offset + np.arange(seq_len)[:, None]
+    return np.where(cols > rows, -1e9, 0.0)
+
+
+class KVCache:
+    """Preallocated key/value buffers for one attention layer.
+
+    Holds ``(batch, max_len, num_heads, head_dim)`` buffers plus a fill
+    cursor (:attr:`position`).  :meth:`append` writes the new positions'
+    keys/values behind the cursor and returns views of the filled prefix —
+    no per-step reallocation, no concatenation.  One cache per transformer
+    block; allocate the full set with
+    :meth:`repro.models.MoETransformer.new_kv_caches`.
+    """
+
+    def __init__(self, batch: int, max_len: int, num_heads: int,
+                 head_dim: int, dtype=None):
+        if batch < 1 or max_len < 1:
+            raise ValueError(f"batch ({batch}) and max_len ({max_len}) "
+                             f"must be positive")
+        dtype = np.dtype(dtype) if dtype is not None else get_default_dtype()
+        self.keys = np.zeros((batch, max_len, num_heads, head_dim),
+                             dtype=dtype)
+        self.values = np.zeros_like(self.keys)
+        self.position = 0
+
+    @property
+    def batch(self) -> int:
+        """Batch size the buffers were allocated for."""
+        return self.keys.shape[0]
+
+    @property
+    def max_len(self) -> int:
+        """Maximum number of positions the cache can hold."""
+        return self.keys.shape[1]
+
+    def reset(self) -> None:
+        """Rewind the fill cursor (buffer contents are overwritten lazily)."""
+        self.position = 0
+
+    def append(self, keys: np.ndarray, values: np.ndarray):
+        """Write new positions' keys/values; return the filled prefix views.
+
+        ``keys``/``values`` are ``(batch, seq, num_heads, head_dim)``.
+        Returns ``(k, v)`` views of shape ``(batch, position, heads, hd)``
+        covering everything appended so far (cursor already advanced).
+        """
+        expected = (self.batch, keys.shape[1]) + self.keys.shape[2:]
+        if keys.shape != expected or values.shape != expected:
+            raise ValueError(f"expected key/value shape {expected}, got "
+                             f"{keys.shape} / {values.shape}")
+        seq = keys.shape[1]
+        if self.position + seq > self.max_len:
+            raise ValueError(f"KV cache overflow: {self.position} + {seq} "
+                             f"exceeds max_len {self.max_len}")
+        self.keys[:, self.position:self.position + seq] = keys
+        self.values[:, self.position:self.position + seq] = values
+        self.position += seq
+        return (self.keys[:, :self.position], self.values[:, :self.position])
 
 
 class MultiHeadAttention(Module):
@@ -75,3 +149,43 @@ class MultiHeadAttention(Module):
         context = weights @ v  # (b, h, s, hd)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
         return self.o_proj(merged)
+
+    def forward_incremental(self, x: Tensor, cache: KVCache) -> Tensor:
+        """Attend the new positions in ``x`` against the cached prefix.
+
+        ``x`` is ``(batch, seq, dim)`` holding only positions
+        ``[cache.position, cache.position + seq)`` — the whole prompt for
+        the prefill pass, a single token per decode step.  Keys and values
+        of the new positions are appended to ``cache``; queries attend over
+        the full filled prefix.  Inference-only: the cache holds raw
+        arrays outside the autograd tape, so this path requires gradients
+        to be disabled (run under :class:`repro.nn.no_grad`).
+        """
+        if is_grad_enabled():
+            raise RuntimeError("forward_incremental is inference-only; "
+                               "wrap the decode loop in no_grad()")
+        batch, seq, _ = x.shape
+        heads, hd = self.num_heads, self.head_dim
+
+        q = self.q_proj(x).data.reshape(batch, seq, heads, hd)
+        k_new = self.k_proj(x).data.reshape(batch, seq, heads, hd)
+        v_new = self.v_proj(x).data.reshape(batch, seq, heads, hd)
+        offset = cache.position
+        k, v = cache.append(k_new, v_new)
+
+        # (b, h, seq, total) scores against every cached position.
+        scores = q.transpose(0, 2, 1, 3) @ k.transpose(0, 2, 3, 1)
+        scores *= 1.0 / np.sqrt(hd)
+        if self.causal and seq > 1:
+            # A single decode token sits after every cached key — no masking
+            # needed; a multi-token (prefill) block is masked within itself.
+            scores = scores + incremental_causal_mask(seq, cache.position,
+                                                      offset)
+        # Raw stable softmax, same formula as functional.softmax.
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+
+        context = scores @ v.transpose(0, 2, 1, 3)  # (b, h, seq, hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(Tensor(merged))

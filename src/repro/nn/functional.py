@@ -256,6 +256,25 @@ def fused_swiglu(x: Tensor, w_gate: Tensor, w_up: Tensor,
     return Tensor._make(out_data, (x, w_gate, w_up, w_down), backward)
 
 
+def swiglu_infer(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray,
+                 w_down: np.ndarray) -> np.ndarray:
+    """Raw-ndarray SwiGLU ``(silu(x Wg^T) * (x Wu^T)) Wd^T``, inference only.
+
+    The same arithmetic as :func:`fused_swiglu`'s forward, in the same
+    operation order, but on plain arrays: no autograd node, no ``Tensor``
+    wrappers.  This is the per-expert kernel of the single-token decode
+    fast path (``seq_len == 1`` MoE dispatch), where graph bookkeeping
+    would dominate the tiny GEMMs.  Weights use the ``Linear`` layout:
+    ``w_gate``/``w_up`` are ``(ffn, hidden)``, ``w_down`` is ``(hidden, ffn)``.
+    """
+    g = x @ w_gate.T
+    u = x @ w_up.T
+    sig = 1.0 / (1.0 + np.exp(-g))
+    s = g * sig
+    h = s * u
+    return h @ w_down.T
+
+
 def gelu(x: Tensor) -> Tensor:
     """Tanh-approximated GELU activation."""
     x = _as_tensor(x)

@@ -14,7 +14,7 @@ import numpy as np
 from . import init as initializers
 from .functional import dropout as dropout_fn
 from .functional import embedding_lookup
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 
 class Parameter(Tensor):
@@ -170,6 +170,15 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Run the forward computation."""
+        if not is_grad_enabled() and isinstance(x, Tensor):
+            # Inference fast path: identical GEMM on the raw arrays, without
+            # allocating the transpose/matmul/add graph nodes.  This is the
+            # per-token hot loop of KV-cached decoding (4 projections per
+            # attention layer + gate + head, every generated token).
+            out_data = x.data @ self.weight.data.T
+            if self.bias is not None:
+                out_data += self.bias.data
+            return Tensor(out_data)
         out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias

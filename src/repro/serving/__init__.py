@@ -3,14 +3,15 @@
 from .batching import (BatchedDecodeSimulator, BatchedServingMetrics,
                        Request, RequestOutcome, poisson_workload)
 from .cache import POLICIES, CacheStats, ExpertCache, hot_expert_keys
-from .engine import (DecodeSimulator, LiveDecodeEngine, ServingConfig,
-                     ServingMetrics)
+from .engine import (DECODE_MODES, DecodeSimulator, LiveDecodeEngine,
+                     ServingConfig, ServingMetrics)
 from .prefetch import (PrefetchingDecodeSimulator, PrefetchStats,
                        SpeculativePrefetcher)
 
 __all__ = [
     "ExpertCache", "CacheStats", "POLICIES", "hot_expert_keys",
-    "DecodeSimulator", "LiveDecodeEngine", "ServingConfig", "ServingMetrics",
+    "DecodeSimulator", "LiveDecodeEngine", "DECODE_MODES", "ServingConfig",
+    "ServingMetrics",
     "BatchedDecodeSimulator", "BatchedServingMetrics", "Request",
     "RequestOutcome", "poisson_workload",
     "SpeculativePrefetcher", "PrefetchingDecodeSimulator", "PrefetchStats",

@@ -75,36 +75,70 @@ class ServingMetrics:
         return self.num_tokens / total if total > 0 else 0.0
 
 
+DECODE_MODES = ("cached", "reference")
+
+
 class LiveDecodeEngine:
     """Greedy autoregressive decoding on a live (tiny) :class:`MoETransformer`.
 
-    The inference hot loop runs with gradients disabled, full-probability
-    record copies off, and the fused MoE dispatch (``dispatch="fused"``, the
-    default; ``"reference"`` stays selectable for A/B runs).  Routing records
-    keep flowing, so the decode stream can still feed locality profiling and
-    the cache simulators above.
+    Decoding runs in two explicit phases, the standard serving split:
 
-    With ``telemetry=``, every generated token records a wall-clock
-    ``serve.decode_token`` span on the ``decode`` track and feeds the
-    ``serve.token_latency_s`` histogram (mean/p50/p99 in the summary table).
+    **prefill**
+        One batched pass over the whole prompt.  In ``mode="cached"`` (the
+        default) it populates per-layer :class:`~repro.nn.attention.KVCache`
+        buffers through ``MoETransformer.forward_incremental``; the last
+        position's logits yield the first generated token.
+
+    **decode**
+        One step per remaining token.  Cached mode feeds only the previous
+        token through the incremental path (single-token fused-dispatch
+        fast path, O(T) total); ``mode="reference"`` re-runs the full model
+        over the full sequence every step (the seed's O(T²) loop, kept
+        selectable for A/B equivalence runs — greedy ids are bit-identical
+        across modes).  Both modes write into one preallocated
+        ``(batch, prompt_len + num_tokens)`` ids buffer.
+
+    The hot loop runs with gradients disabled, full-probability record
+    copies off, and the fused MoE dispatch (``dispatch="fused"``, the
+    default; ``"reference"`` stays selectable for A/B runs).  Routing
+    records keep flowing in both modes, so the decode stream can still feed
+    locality profiling and the cache simulators above.
+
+    With ``telemetry=``, the prompt pass records a wall-clock
+    ``serve.prefill`` span and feeds the ``serve.prefill_latency_s``
+    histogram; every subsequent token records a ``serve.decode_token`` span
+    and feeds ``serve.token_latency_s`` (mean/p50/p99 in the summary
+    table).  All spans land back to back on the ``decode`` track, so the
+    per-phase sums tile the decode wall time.
     """
 
     def __init__(self, model: MoETransformer, dispatch: str = "fused",
+                 mode: str = "cached",
                  telemetry: Optional[Telemetry] = None):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
+        if mode not in DECODE_MODES:
+            raise ValueError(f"mode must be one of {DECODE_MODES}, "
+                             f"got {mode!r}")
         self.model = model
         self.model.set_dispatch_mode(dispatch)
+        self.mode = mode
         self.telemetry = telemetry
 
-    def decode(self, prompt_ids: np.ndarray, num_tokens: int) -> np.ndarray:
+    def decode(self, prompt_ids: np.ndarray, num_tokens: int,
+               mode: Optional[str] = None) -> np.ndarray:
         """Greedily decode ``num_tokens`` continuations of ``prompt_ids``.
 
         ``prompt_ids`` is ``(batch, prompt_len)``; returns the generated ids
         as ``(batch, num_tokens)``.  The prompt plus generation must fit in
-        the model's ``max_seq_len``.
+        the model's ``max_seq_len``.  ``mode`` overrides the engine default
+        (``"cached"`` | ``"reference"``) for this call.
         """
+        mode = self.mode if mode is None else mode
+        if mode not in DECODE_MODES:
+            raise ValueError(f"mode must be one of {DECODE_MODES}, "
+                             f"got {mode!r}")
         prompt_ids = np.asarray(prompt_ids)
         if prompt_ids.ndim != 2:
             raise ValueError(f"expected (batch, prompt_len) prompt ids, "
@@ -112,36 +146,66 @@ class LiveDecodeEngine:
         if num_tokens < 1:
             raise ValueError("num_tokens must be positive")
         max_len = self.model.config.max_seq_len
-        if prompt_ids.shape[1] + num_tokens > max_len:
-            raise ValueError(f"prompt ({prompt_ids.shape[1]}) + generation "
+        batch, prompt_len = prompt_ids.shape
+        total_len = prompt_len + num_tokens
+        if total_len > max_len:
+            raise ValueError(f"prompt ({prompt_len}) + generation "
                              f"({num_tokens}) exceeds max_seq_len {max_len}")
         was_training = self.model.training
         moe_blocks = self.model._moe_blocks()
         previous_probs = [moe.record_probs for moe in moe_blocks]
         self.model.eval()
         self.model.set_record_probs(False)
-        ids = prompt_ids
+        # One ids buffer for the whole sequence, written in place — the
+        # prompt up front, each generated token behind it (no per-token
+        # concatenate-and-copy growth in either mode).
+        ids = np.empty((batch, total_len), dtype=np.int64)
+        ids[:, :prompt_len] = prompt_ids
         telemetry = self.telemetry
         clock = telemetry.tracer.clock if telemetry is not None else None
         try:
             with no_grad():
-                for token in range(num_tokens):
-                    start = clock.now() if clock is not None else 0.0
-                    logits = self.model(ids)
-                    next_ids = np.argmax(logits.data[:, -1, :], axis=-1)
-                    ids = np.concatenate([ids, next_ids[:, None]], axis=1)
+                mark = clock.now() if clock is not None else 0.0
+                if mode == "cached":
+                    caches = self.model.new_kv_caches(batch,
+                                                      max_len=total_len)
+                    logits = self.model.forward_incremental(
+                        ids[:, :prompt_len], caches)
+                else:
+                    logits = self.model(ids[:, :prompt_len])
+                ids[:, prompt_len] = np.argmax(logits.data[:, -1, :], axis=-1)
+                if telemetry is not None:
+                    now = clock.now()
+                    telemetry.record_span(
+                        "serve.prefill", mark, now - mark,
+                        category="prefill", track="decode", mode=mode,
+                        prompt_len=prompt_len)
+                    telemetry.histogram(
+                        "serve.prefill_latency_s").observe(now - mark)
+                    mark = now
+                for token in range(1, num_tokens):
+                    position = prompt_len + token
+                    if mode == "cached":
+                        logits = self.model.forward_incremental(
+                            ids[:, position - 1:position], caches)
+                    else:
+                        logits = self.model(ids[:, :position])
+                    ids[:, position] = np.argmax(logits.data[:, -1, :],
+                                                 axis=-1)
                     if telemetry is not None:
-                        elapsed = clock.now() - start
+                        now = clock.now()
                         telemetry.record_span(
-                            "serve.decode_token", start, elapsed,
-                            category="decode", track="decode", token=token)
+                            "serve.decode_token", mark, now - mark,
+                            category="decode", track="decode", mode=mode,
+                            token=token)
                         telemetry.histogram(
-                            "serve.token_latency_s").observe(elapsed)
+                            "serve.token_latency_s").observe(now - mark)
+                        mark = now
         finally:
             self.model.train(was_training)
             for moe, previous in zip(moe_blocks, previous_probs):
                 moe.record_probs = previous
-        return ids[:, prompt_ids.shape[1]:]
+        return ids[:, prompt_len:]
 
 
 class DecodeSimulator:

@@ -1,0 +1,148 @@
+"""Incremental (KV-cached) transformer forward: equivalence and contracts.
+
+The serving tentpole: ``MoETransformer.forward_incremental`` must agree
+with the full ``forward`` — bit-identical on a full-sequence prefill, to
+~1e-12 in float64 when decoding token by token — and the single-token
+fused-dispatch fast path must agree with the batched fused dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import MoEBlock, build_model
+from repro.nn import Tensor, no_grad
+
+
+class TestForwardIncremental:
+    def test_prefill_matches_full_forward_bitwise(self, nano_model):
+        ids = np.random.default_rng(0).integers(0, 64, size=(2, 10))
+        with no_grad():
+            full = nano_model.forward(ids).data
+            caches = nano_model.new_kv_caches(2, max_len=10)
+            inc = nano_model.forward_incremental(ids, caches).data
+        np.testing.assert_array_equal(inc, full)
+        assert all(c.position == 10 for c in caches)
+
+    def test_stepwise_logits_match_full_forward(self, nano_model):
+        ids = np.random.default_rng(1).integers(0, 64, size=(1, 8))
+        with no_grad():
+            full = nano_model.forward(ids).data
+            caches = nano_model.new_kv_caches(1, max_len=8)
+            prefill = nano_model.forward_incremental(ids[:, :3], caches).data
+            steps = [nano_model.forward_incremental(ids[:, t:t + 1],
+                                                    caches).data
+                     for t in range(3, 8)]
+        got = np.concatenate([prefill] + steps, axis=1)
+        np.testing.assert_allclose(got, full, atol=1e-12)
+
+    def test_requires_no_grad(self, nano_model):
+        caches = nano_model.new_kv_caches(1)
+        with pytest.raises(RuntimeError):
+            nano_model.forward_incremental(np.array([[1]]), caches)
+
+    def test_cache_count_and_sync_validated(self, nano_model):
+        ids = np.array([[1, 2]])
+        with no_grad():
+            with pytest.raises(ValueError):
+                nano_model.forward_incremental(
+                    ids, nano_model.new_kv_caches(1)[:-1])
+            caches = nano_model.new_kv_caches(1)
+            caches[0].position = 1  # desynchronized cursor
+            with pytest.raises(ValueError):
+                nano_model.forward_incremental(ids, caches)
+
+    def test_max_seq_len_enforced(self, nano_model):
+        max_len = nano_model.config.max_seq_len
+        with no_grad():
+            caches = nano_model.new_kv_caches(1)
+            with pytest.raises(ValueError):
+                nano_model.forward_incremental(
+                    np.zeros((1, max_len + 1), dtype=np.int64), caches)
+        with pytest.raises(ValueError):
+            nano_model.new_kv_caches(1, max_len=max_len + 1)
+
+    def test_new_kv_caches_shapes(self, nano_model):
+        config = nano_model.config
+        caches = nano_model.new_kv_caches(3, max_len=17)
+        assert len(caches) == config.num_layers
+        head_dim = config.hidden_size // config.num_heads
+        for cache in caches:
+            assert cache.keys.shape == (3, 17, config.num_heads, head_dim)
+            assert cache.position == 0
+
+
+class TestSingleTokenDispatchFastPath:
+    """The ``seq_len == 1`` decode fast path of the fused MoE dispatch."""
+
+    def _block(self, seed=7, **kwargs):
+        return MoEBlock(12, 24, 8, 2, rng=np.random.default_rng(seed),
+                        **kwargs)
+
+    @pytest.mark.parametrize("batch", [1, 5])
+    def test_matches_batched_fused_dispatch(self, batch):
+        block = self._block()
+        x = np.random.default_rng(3).normal(size=(batch, 1, 12))
+        with no_grad():
+            fast = block(Tensor(x))
+            fast_record = block.last_record
+        # With gradients enabled the same call takes the generic batched
+        # fused dispatch — the fast path is inference-only.
+        out = block(Tensor(x))
+        np.testing.assert_allclose(fast.data, out.data, atol=1e-12)
+        np.testing.assert_array_equal(fast_record.expert_indices,
+                                      block.last_record.expert_indices)
+        np.testing.assert_allclose(fast_record.selected_scores,
+                                   block.last_record.selected_scores,
+                                   atol=1e-15)
+
+    def test_fast_path_taken_only_when_eligible(self):
+        block = self._block()
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 1, 12)))
+        # Under gradients: generic path (aux loss machinery intact).
+        block(x)
+        generic_record = block.last_record
+        assert generic_record is not None
+        with no_grad():
+            block.dispatch = "reference"
+            block(x)  # reference dispatch never takes the fast path
+            block.dispatch = "fused"
+            block(x)
+        assert block.last_record is not None
+
+    def test_records_respect_flags(self):
+        block = self._block(record_probs=False)
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 1, 12)))
+        with no_grad():
+            block(x)
+        assert block.last_record.probs is None
+        assert block.last_record.expert_indices.shape == (1, 2)
+        block.record_routing = False
+        block.last_record = None
+        with no_grad():
+            block(x)
+        assert block.last_record is None
+
+    def test_lora_injected_block_falls_back(self):
+        from repro.lora import LoRAConfig, inject_lora
+        block = self._block()
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 1, 12)))
+        with no_grad():
+            before = block(x).data
+        inject_lora(block, LoRAConfig(rank=2))
+        assert not block._decode_fusable()
+        with no_grad():
+            after = block(x).data  # generic dispatch handles LoRA modules
+        # Fresh LoRA B matrices are zero, so outputs are unchanged.
+        np.testing.assert_allclose(after, before, atol=1e-12)
+
+
+class TestIncrementalDeterminism:
+    def test_two_cache_runs_identical(self, nano_config):
+        model = build_model(nano_config)
+        ids = np.random.default_rng(2).integers(0, 64, size=(1, 6))
+        outs = []
+        for _ in range(2):
+            with no_grad():
+                caches = model.new_kv_caches(1, max_len=6)
+                outs.append(model.forward_incremental(ids, caches).data)
+        np.testing.assert_array_equal(outs[0], outs[1])

@@ -1,9 +1,10 @@
-"""Tests for multi-head self-attention."""
+"""Tests for multi-head self-attention and KV-cached incremental decoding."""
 
 import numpy as np
 import pytest
 
-from repro.nn import MultiHeadAttention, Tensor, causal_mask
+from repro.nn import (KVCache, MultiHeadAttention, Tensor, causal_mask,
+                      incremental_causal_mask, no_grad)
 
 
 class TestCausalMask:
@@ -57,3 +58,102 @@ class TestMultiHeadAttention:
         a2 = MultiHeadAttention(8, 2, rng=np.random.default_rng(7))
         x = np.ones((1, 2, 8))
         np.testing.assert_array_equal(a1(Tensor(x)).data, a2(Tensor(x)).data)
+
+
+class TestIncrementalCausalMask:
+    def test_offset_zero_matches_causal_mask(self):
+        np.testing.assert_array_equal(incremental_causal_mask(5, 5, 0),
+                                      causal_mask(5))
+
+    def test_offset_block_attends_prefix(self):
+        mask = incremental_causal_mask(2, 6, 4)
+        assert mask.shape == (2, 6)
+        # Row 0 = absolute position 4: sees columns 0..4, not 5.
+        assert np.all(mask[0, :5] == 0) and mask[0, 5] < -1e8
+        assert np.all(mask[1] == 0)
+
+
+class TestKVCache:
+    def test_append_advances_cursor_and_returns_views(self):
+        cache = KVCache(batch=2, max_len=8, num_heads=3, head_dim=4)
+        assert cache.position == 0
+        k, v = cache.append(np.ones((2, 5, 3, 4)), 2 * np.ones((2, 5, 3, 4)))
+        assert cache.position == 5
+        assert k.shape == v.shape == (2, 5, 3, 4)
+        k, v = cache.append(np.zeros((2, 1, 3, 4)), np.zeros((2, 1, 3, 4)))
+        assert cache.position == 6
+        assert k.shape == (2, 6, 3, 4)
+        np.testing.assert_array_equal(k[:, :5], 1.0)
+        np.testing.assert_array_equal(k[:, 5], 0.0)
+
+    def test_overflow_rejected(self):
+        cache = KVCache(batch=1, max_len=4, num_heads=2, head_dim=2)
+        cache.append(np.zeros((1, 3, 2, 2)), np.zeros((1, 3, 2, 2)))
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((1, 2, 2, 2)), np.zeros((1, 2, 2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        cache = KVCache(batch=2, max_len=4, num_heads=2, head_dim=2)
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((1, 1, 2, 2)), np.zeros((1, 1, 2, 2)))
+
+    def test_reset_rewinds(self):
+        cache = KVCache(batch=1, max_len=4, num_heads=2, head_dim=2)
+        cache.append(np.zeros((1, 4, 2, 2)), np.zeros((1, 4, 2, 2)))
+        cache.reset()
+        assert cache.position == 0
+        cache.append(np.ones((1, 2, 2, 2)), np.ones((1, 2, 2, 2)))
+        assert cache.position == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache(batch=0, max_len=4, num_heads=2, head_dim=2)
+        with pytest.raises(ValueError):
+            KVCache(batch=1, max_len=0, num_heads=2, head_dim=2)
+
+
+class TestIncrementalAttention:
+    def _attn(self, seed=7, causal=True):
+        return MultiHeadAttention(8, 2, causal=causal,
+                                  rng=np.random.default_rng(seed))
+
+    def test_prefill_matches_full_forward_bitwise(self):
+        attn = self._attn()
+        x = np.random.default_rng(3).normal(size=(2, 6, 8))
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache(batch=2, max_len=6, num_heads=2, head_dim=4)
+            inc = attn.forward_incremental(Tensor(x), cache).data
+        np.testing.assert_array_equal(inc, full)
+        assert cache.position == 6
+
+    def test_token_by_token_matches_full_forward(self):
+        attn = self._attn()
+        x = np.random.default_rng(4).normal(size=(1, 7, 8))
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache(batch=1, max_len=7, num_heads=2, head_dim=4)
+            steps = [attn.forward_incremental(Tensor(x[:, t:t + 1]),
+                                              cache).data
+                     for t in range(7)]
+        np.testing.assert_allclose(np.concatenate(steps, axis=1), full,
+                                   atol=1e-12)
+
+    def test_prefill_then_steps_matches_full_forward(self):
+        attn = self._attn()
+        x = np.random.default_rng(5).normal(size=(2, 9, 8))
+        with no_grad():
+            full = attn(Tensor(x)).data
+            cache = KVCache(batch=2, max_len=9, num_heads=2, head_dim=4)
+            prefill = attn.forward_incremental(Tensor(x[:, :5]), cache).data
+            tail = [attn.forward_incremental(Tensor(x[:, t:t + 1]),
+                                             cache).data
+                    for t in range(5, 9)]
+        got = np.concatenate([prefill] + tail, axis=1)
+        np.testing.assert_allclose(got, full, atol=1e-12)
+
+    def test_requires_no_grad(self):
+        attn = self._attn()
+        cache = KVCache(batch=1, max_len=4, num_heads=2, head_dim=4)
+        with pytest.raises(RuntimeError):
+            attn.forward_incremental(Tensor(np.zeros((1, 1, 8))), cache)

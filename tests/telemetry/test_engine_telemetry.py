@@ -211,19 +211,53 @@ class TestLivePaths:
         assert gauges["train.loss"].updates == 2
         assert gauges["train.grad_norm"].value > 0.0
 
-    def test_decode_latency_histogram(self):
+    def test_decode_latency_histograms(self):
         from repro.serving.engine import LiveDecodeEngine
         model, _ = tiny_finetune_workload(batch_size=2, seq_len=16, seed=0)
         tel = Telemetry()
         engine = LiveDecodeEngine(model, telemetry=tel)
         out = engine.decode(np.array([[1, 2, 3]]), 3)
         assert out.shape == (1, 3)
-        (hist,) = [h for h in tel.registry.instruments("histogram")]
-        assert hist.name == "serve.token_latency_s"
-        assert hist.count == 3
-        assert all(v > 0 for v in hist.values)
-        spans = tel.spans
-        assert [s.labels["token"] for s in spans] == [0, 1, 2]
-        # Span durations are the same latencies the histogram holds.
-        for span, value in zip(spans, hist.values):
+        hists = {h.name: h for h in tel.registry.instruments("histogram")}
+        assert set(hists) == {"serve.prefill_latency_s",
+                              "serve.token_latency_s"}
+        # The prompt pass is the prefill; the remaining 2 tokens decode.
+        assert hists["serve.prefill_latency_s"].count == 1
+        assert hists["serve.token_latency_s"].count == 2
+        assert all(v > 0 for h in hists.values() for v in h.values)
+        prefill = [s for s in tel.spans if s.name == "serve.prefill"]
+        decode = [s for s in tel.spans if s.name == "serve.decode_token"]
+        assert len(prefill) == 1
+        assert prefill[0].labels["prompt_len"] == 3
+        assert [s.labels["token"] for s in decode] == [1, 2]
+        # Span durations are the same latencies the histograms hold.
+        assert prefill[0].duration == pytest.approx(
+            hists["serve.prefill_latency_s"].values[0])
+        for span, value in zip(decode, hists["serve.token_latency_s"].values):
             assert span.duration == pytest.approx(value)
+
+    @pytest.mark.parametrize("mode", ["cached", "reference"])
+    def test_decode_phase_spans_tile_wall_time(self, mode):
+        """serve.prefill + serve.decode_token spans tile the decode wall."""
+        import time
+
+        from repro.serving.engine import LiveDecodeEngine
+        model, _ = tiny_finetune_workload(batch_size=2, seq_len=16, seed=0)
+        tel = Telemetry()
+        engine = LiveDecodeEngine(model, mode=mode, telemetry=tel)
+        start = time.perf_counter()
+        engine.decode(np.array([[1, 2, 3, 4]]), 4)
+        wall = time.perf_counter() - start
+        spans = [s for s in tel.spans if s.track == "decode"]
+        assert [s.name for s in spans] == \
+            ["serve.prefill"] + ["serve.decode_token"] * 3
+        assert all(s.labels["mode"] == mode for s in spans)
+        # Phases are recorded back to back: each span starts where the
+        # previous one ended, so the durations sum to the span of the
+        # timeline and stay within the decode() wall time.
+        for prev, cur in zip(spans, spans[1:]):
+            assert cur.start == pytest.approx(prev.end, abs=1e-9)
+        total = sum(s.duration for s in spans)
+        assert total == pytest.approx(spans[-1].end - spans[0].start,
+                                      rel=1e-9)
+        assert total <= wall
