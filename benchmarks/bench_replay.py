@@ -46,7 +46,8 @@ from repro.bench.workloads import paper_workload
 from repro.placement import PlacementProblem
 from repro.placement.random_ import RandomPlacement
 from repro.runtime.engine import ExpertParallelEngine, MasterWorkerEngine
-from repro.telemetry import Telemetry, write_chrome_trace
+from repro.telemetry import (RoutingHealthMonitor, Telemetry,
+                             write_chrome_trace)
 
 # (model, dataset, steps); (mixtral, wikitext, 60) is the acceptance point.
 CELLS = [
@@ -76,14 +77,18 @@ def _build_cell(model: str, dataset: str, steps: int):
                                tokens_per_step=cfg.tokens_per_step)
     placement = RandomPlacement(seed=3).place(problem)
 
-    def engines(telemetry_mw=None, telemetry_ep=None):
+    def engines(telemetry_mw=None, telemetry_ep=None, monitor_mw=None,
+                monitor_ep=None):
         return (MasterWorkerEngine(cfg.model, cfg.topology, placement,
                                    cfg.tokens_per_step, cfg.seq_len,
-                                   telemetry=telemetry_mw),
+                                   telemetry=telemetry_mw,
+                                   monitor=monitor_mw),
                 ExpertParallelEngine(cfg.model, cfg.topology, placement,
                                      cfg.tokens_per_step, cfg.seq_len,
-                                     telemetry=telemetry_ep))
+                                     telemetry=telemetry_ep,
+                                     monitor=monitor_ep))
 
+    engines.placement = placement
     return trace, engines
 
 
@@ -165,6 +170,19 @@ def measure_telemetry(model: str, dataset: str, steps: int,
         mw.run_trace(trace, mode="vectorized")
         ep.run_trace(trace, mode="vectorized")
         enabled = min(enabled, time.perf_counter() - start)
+    # The routing-health monitor digests every step (gauges + anomaly
+    # checks), so its enabled cost is reported, not gated; monitor=None is
+    # covered by the disabled measurement above (same one-attribute-check
+    # contract as telemetry).
+    monitored = float("inf")
+    for _ in range(iters):
+        mw, ep = engines(
+            monitor_mw=RoutingHealthMonitor(placement=engines.placement),
+            monitor_ep=RoutingHealthMonitor(placement=engines.placement))
+        start = time.perf_counter()
+        mw.run_trace(trace, mode="vectorized")
+        ep.run_trace(trace, mode="vectorized")
+        monitored = min(monitored, time.perf_counter() - start)
     return {
         "model": model,
         "dataset": dataset,
@@ -172,8 +190,10 @@ def measure_telemetry(model: str, dataset: str, steps: int,
         "baseline_ms": baseline * 1e3,
         "disabled_ms": disabled * 1e3,
         "enabled_ms": enabled * 1e3,
+        "monitor_ms": monitored * 1e3,
         "disabled_overhead": disabled / baseline - 1.0,
         "enabled_overhead": enabled / baseline - 1.0,
+        "monitor_overhead": monitored / baseline - 1.0,
     }
 
 
@@ -302,7 +322,9 @@ def main(argv=None) -> int:
           f"({telemetry['disabled_overhead']:+.1%} vs plain, max "
           f"{TELEMETRY_DISABLED_MAX_OVERHEAD:.0%}), enabled "
           f"{telemetry['enabled_ms']:.1f} ms "
-          f"({telemetry['enabled_overhead']:+.1%})")
+          f"({telemetry['enabled_overhead']:+.1%}), monitor "
+          f"{telemetry['monitor_ms']:.1f} ms "
+          f"({telemetry['monitor_overhead']:+.1%})")
     if args.trace_out is not None:
         spans = export_headline_trace(args.trace_out)
         print(f"wrote {args.trace_out} ({spans} spans)")

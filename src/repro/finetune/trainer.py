@@ -10,6 +10,14 @@ With ``telemetry=``, each step records wall-clock ``train.forward`` /
 ``train.backward`` / ``train.optimizer`` spans on the ``trainer`` track plus
 ``train.loss`` and (when clipping) ``train.grad_norm`` gauges — this is the
 *live* counterpart of the simulation engines' model-time spans.
+
+With ``monitor=`` (a :class:`~repro.telemetry.monitor.RoutingHealthMonitor`),
+each step additionally feeds the routing-health gauges and anomaly
+detectors — including the Theorem-1 drift check, since the monitored
+layer's full gate probabilities flow through the routing records — and the
+run is bracketed by a :class:`~repro.telemetry.events.RunManifest`
+(``begin_run`` at the first step unless the caller already opened one,
+``end_run`` with the final loss statistics on completion).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from ..nn.optim import AdamW, GradClipper
 from ..nn.schedule import LRScheduler, WarmupCosineLR
 from ..routing.trace import RoutingTrace
 from ..telemetry import Telemetry
+from ..telemetry.monitor import RoutingHealthMonitor
 from .callbacks import Callback, GateMonitor, LossHistory, RoutingRecorder
 
 
@@ -130,16 +139,22 @@ class Trainer:
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; records wall-clock
         per-step spans and loss/grad-norm gauges.
+    monitor:
+        Optional :class:`~repro.telemetry.monitor.RoutingHealthMonitor`;
+        digests every step's routing records (gauges + anomaly events) and
+        writes the run manifest.
     """
 
     def __init__(self, model: MoETransformer, loader: LMDataLoader,
                  config: Optional[FineTuneConfig] = None,
                  inject: bool = True,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None):
         self.model = model
         self.loader = loader
         self.config = config or FineTuneConfig()
         self.telemetry = telemetry
+        self.monitor = monitor
         if inject:
             self.lora_report = inject_lora(model, self.config.lora)
         else:
@@ -183,6 +198,15 @@ class Trainer:
         accumulation = self.config.grad_accumulation
         micro_batches = self.loader.batches(steps * accumulation)
         telemetry = self.telemetry
+        monitor = self.monitor
+        if monitor is not None and monitor.manifest is None:
+            monitor.begin_run(config={
+                "model": model_cfg.name, "steps": steps,
+                "lr": self.config.lr,
+                "monitored_layer": self.config.monitored_layer,
+                "dispatch": self.config.dispatch,
+                "grad_accumulation": accumulation,
+            }, seed=getattr(model_cfg, "seed", None))
 
         def span(name, step):
             if telemetry is None:
@@ -222,6 +246,9 @@ class Trainer:
                     self.optimizer.step()
                 if telemetry is not None:
                     telemetry.gauge("train.loss").set(step_loss)
+                if monitor is not None:
+                    monitor.observe_records(step_counts, step=step,
+                                            num_experts=model_cfg.num_experts)
                 for callback in all_callbacks:
                     callback.on_step(step, step_loss, step_counts)
             for callback in all_callbacks:
@@ -234,10 +261,17 @@ class Trainer:
                              top_k=model_cfg.top_k,
                              tokens_per_step=int(tokens_per_step),
                              counts=routing_cb.counts_array())
-        return FineTuneResult(losses=loss_cb.array(), trace=trace,
-                              gate_mean_probs=gate_cb.mean_probs_array(),
-                              selected_score_sums=gate_cb.selected_score_sums,
-                              lora_report=self.lora_report)
+        result = FineTuneResult(losses=loss_cb.array(), trace=trace,
+                                gate_mean_probs=gate_cb.mean_probs_array(),
+                                selected_score_sums=gate_cb.selected_score_sums,
+                                lora_report=self.lora_report)
+        if monitor is not None:
+            monitor.end_run(final_metrics={
+                "steps": result.num_steps,
+                "final_loss": float(result.losses[-1]),
+                "loss_improvement": result.loss_improvement(),
+            })
+        return result
 
 
 def pretrain_router(model: MoETransformer, loader: LMDataLoader,

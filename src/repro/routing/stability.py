@@ -110,6 +110,23 @@ class StabilityReport:
         baseline = self.access_frequency[0]
         return float(np.abs(self.access_frequency - baseline).max())
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (arrays as lists, summary scalars added).
+
+        This is what run manifests persist (``final_metrics.stability``),
+        so drift statistics survive a run without re-deriving them.
+        """
+        return {
+            "num_steps": self.num_steps,
+            "violations": self.violations,
+            "max_drift": float(self.per_step_max_drift.max()),
+            "max_frequency_change": self.max_frequency_change(),
+            "per_step_max_drift": [float(v) for v in self.per_step_max_drift],
+            "per_step_bound": [float(v) for v in self.per_step_bound],
+            "access_frequency": np.asarray(self.access_frequency,
+                                           dtype=float).tolist(),
+        }
+
 
 class StabilityMonitor:
     """Record gate behavior at each fine-tuning step and score it vs theory.

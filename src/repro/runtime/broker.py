@@ -24,6 +24,12 @@ payload bytes to each ``(layer, expert, worker)`` edge as
 ``broker.dispatch_bytes`` counters (see ``docs/OBSERVABILITY.md``).  Both
 planners feed the same counters, so reference and vectorized replays
 accumulate identical byte attributions.
+
+Constructed with ``monitor=`` (a :class:`~repro.telemetry.monitor.
+RoutingHealthMonitor`), each plan additionally publishes per-worker token
+loads (``routing.worker_tokens`` / ``routing.worker_share`` gauges) into
+the monitor's registry; gauges are last-value instruments, so after a trace
+plan they reflect the final planned step in both replay modes.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from ..comm.message import MASTER, Message, MessageKind
 from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..telemetry import Telemetry
+from ..telemetry.monitor import RoutingHealthMonitor
 
 
 @dataclass
@@ -110,7 +117,8 @@ class ExpertBroker:
     """Plans master<->worker data movement for a placement."""
 
     def __init__(self, config: MoEModelConfig, placement: Placement,
-                 num_workers: int, telemetry: Optional[Telemetry] = None):
+                 num_workers: int, telemetry: Optional[Telemetry] = None,
+                 monitor: Optional["RoutingHealthMonitor"] = None):
         if placement.num_layers != config.num_layers or \
                 placement.num_experts != config.num_experts:
             raise ValueError("placement shape does not match model config")
@@ -118,6 +126,7 @@ class ExpertBroker:
         self.placement = placement
         self.num_workers = num_workers
         self.telemetry = telemetry
+        self.monitor = monitor
 
     def _record_dispatch_bytes(self, counts: np.ndarray) -> None:
         """Attribute planned payload bytes to (layer, expert, worker) edges.
@@ -135,6 +144,22 @@ class ExpertBroker:
                 worker=int(assignment[layer, expert]),
             ).add(float(counts[layer, expert]) * token_bytes)
 
+    def _publish_worker_load(self, tokens: np.ndarray) -> None:
+        """Publish per-worker load gauges for one planned step.
+
+        ``tokens`` is a ``(workers, layers)`` plan matrix; each worker's
+        summed token selections land as ``routing.worker_tokens`` and its
+        fraction of the step as ``routing.worker_share``.
+        """
+        telemetry = self.monitor.telemetry
+        per_worker = np.asarray(tokens).sum(axis=1)
+        total = float(per_worker.sum())
+        for worker, load in enumerate(per_worker):
+            telemetry.gauge("routing.worker_tokens",
+                            worker=worker).set(float(load))
+            telemetry.gauge("routing.worker_share", worker=worker).set(
+                float(load) / total if total > 0 else 0.0)
+
     def plan_step(self, step_counts: np.ndarray) -> DispatchPlan:
         """Build the dispatch plan from one step's routing counts.
 
@@ -148,6 +173,8 @@ class ExpertBroker:
         tokens = self.placement.tokens_per_worker(step_counts, self.num_workers)
         if self.telemetry is not None:
             self._record_dispatch_bytes(step_counts)
+        if self.monitor is not None:
+            self._publish_worker_load(tokens)
         return DispatchPlan(tokens=tokens,
                             token_bytes=self.config.token_feature_nbytes())
 
@@ -170,6 +197,10 @@ class ExpertBroker:
                            x.astype(np.int64), optimize=True)
         if self.telemetry is not None:
             self._record_dispatch_bytes(trace_counts.sum(axis=0))
+        if self.monitor is not None and len(tokens) > 0:
+            # Gauges are last-value: publishing the final step leaves the
+            # same end state as stepping plan_step over the trace.
+            self._publish_worker_load(tokens[-1])
         return TracePlan(tokens=tokens,
                          token_bytes=self.config.token_feature_nbytes())
 

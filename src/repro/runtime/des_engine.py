@@ -43,6 +43,7 @@ from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..routing.trace import RoutingTrace
 from ..telemetry import Telemetry
+from ..telemetry.monitor import RoutingHealthMonitor
 from .broker import ExpertBroker
 from .engine import (fork_join_span_arrays, lora_backbone_param_count,
                      lora_expert_param_count, resolve_trace_mode)
@@ -76,7 +77,8 @@ class EventDrivenMasterWorker:
     def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
                  placement: Placement, tokens_per_step: int, seq_len: int,
                  lora_rank: int = 8, nic_contention: bool = False,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None):
         if tokens_per_step < 1:
             raise ValueError("tokens_per_step must be positive")
         self.config = config
@@ -87,10 +89,11 @@ class EventDrivenMasterWorker:
         self.lora_rank = lora_rank
         self.nic_contention = nic_contention
         self.telemetry = telemetry
+        self.monitor = monitor
         self._telemetry_now = 0.0
         self.flops = FlopModel(config)
         self.broker = ExpertBroker(config, placement, topology.num_workers,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry, monitor=monitor)
         self.master_device = topology.workers[topology.master_worker_id].device
 
     # ------------------------------------------------------------------ #
@@ -111,6 +114,8 @@ class EventDrivenMasterWorker:
                  step: int = 0) -> DESStepResult:
         """Execute one full step (forward + backward + heads + optimizers)."""
         plan = self.broker.plan_step(np.asarray(step_counts))
+        if self.monitor is not None:
+            self.monitor.observe_step(np.asarray(step_counts), step=step)
         sim = Simulator()
         egress = {"nic": LinkResource(), "pcie": LinkResource()}
         ingress = {"nic": LinkResource(), "pcie": LinkResource()}
@@ -238,6 +243,9 @@ class EventDrivenMasterWorker:
     def _run_trace_vectorized(self, trace: RoutingTrace,
                               limit: int) -> List[DESStepResult]:
         plan = self.broker.plan_trace(trace.counts[:limit])
+        if self.monitor is not None:
+            for step in range(limit):
+                self.monitor.observe_step(trace.counts[step], step=step)
         spans = fork_join_span_arrays(self.topology, self.flops, plan.tokens,
                                       plan.token_bytes)
         layers = self.config.num_layers

@@ -45,6 +45,11 @@ durations sum exactly to the ``StepMetrics`` aggregates (verified to 1e-9
 by ``benchmarks/bench_fig6_step_time.py --trace-out``).  With the default
 ``telemetry=None`` the hot paths pay one attribute check.  Span naming
 lives in ``docs/OBSERVABILITY.md``.
+
+Both engines also accept ``monitor=`` (a :class:`repro.telemetry.monitor.
+RoutingHealthMonitor`); when set, every replayed step feeds the monitor's
+routing-health gauges (load imbalance, locality hit-rate) and anomaly
+detectors, in both replay modes, with the same ``None``-is-free contract.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ from ..models.config import MoEModelConfig
 from ..placement.base import Placement
 from ..routing.trace import RoutingTrace
 from ..telemetry import Telemetry
+from ..telemetry.monitor import RoutingHealthMonitor
 from .broker import ExpertBroker
 from .flops import BACKWARD_MULTIPLIER, FlopModel
 from .master import MasterProcess
@@ -152,7 +158,8 @@ class MasterWorkerEngine:
     def __init__(self, config: MoEModelConfig, topology: ClusterTopology,
                  placement: Placement, tokens_per_step: int, seq_len: int,
                  lora_rank: int = 8, strategy_name: Optional[str] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None):
         if tokens_per_step < 1:
             raise ValueError("tokens_per_step must be positive")
         self.config = config
@@ -163,6 +170,7 @@ class MasterWorkerEngine:
         self.lora_rank = lora_rank
         self.strategy_name = strategy_name or placement.name
         self.telemetry = telemetry
+        self.monitor = monitor
         # Model-time cursor: successive steps land back to back on the
         # exported trace timeline.
         self._telemetry_now = 0.0
@@ -170,7 +178,7 @@ class MasterWorkerEngine:
         self.flops = FlopModel(config)
         self.cost = CommCostModel(config, topology)
         self.broker = ExpertBroker(config, placement, topology.num_workers,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry, monitor=monitor)
         master_device = topology.workers[topology.master_worker_id].device
         self.master = MasterProcess(config, master_device, self.flops, seq_len)
         self.workers = [WorkerProcess(w.worker_id, w.device, self.flops)
@@ -211,6 +219,8 @@ class MasterWorkerEngine:
     def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
         """Simulate one fine-tuning step and return its metrics."""
         plan = self.broker.plan_step(step_counts)
+        if self.monitor is not None:
+            self.monitor.observe_step(step_counts, step=step)
         tokens = float(self.tokens_per_step)
         telemetry = self.telemetry
         t0 = self._telemetry_now
@@ -347,6 +357,9 @@ class MasterWorkerEngine:
     def _run_trace_vectorized(self, trace: RoutingTrace,
                               limit: int) -> RunMetrics:
         plan = self.broker.plan_trace(trace.counts[:limit])
+        if self.monitor is not None:
+            for step in range(limit):
+                self.monitor.observe_step(trace.counts[step], step=step)
         spans = fork_join_span_arrays(self.topology, self.flops, plan.tokens,
                                       plan.token_bytes)
         num_layers = self.config.num_layers
@@ -414,7 +427,8 @@ class ExpertParallelEngine:
                  placement: Placement, tokens_per_step: int, seq_len: int,
                  lora_rank: int = 8, strategy_name: str = "expert_parallel",
                  sync_software_overhead_s: float = 0.008,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None):
         """``sync_software_overhead_s`` is the per-block status-sync cost.
 
         Beyond wire latency, a blocking size-exchange in a real framework
@@ -437,11 +451,12 @@ class ExpertParallelEngine:
         self.strategy_name = strategy_name
         self.sync_software_overhead_s = sync_software_overhead_s
         self.telemetry = telemetry
+        self.monitor = monitor
         self._telemetry_now = 0.0
         self.flops = FlopModel(config)
         self.token_bytes = config.token_feature_nbytes()
         self.broker = ExpertBroker(config, placement, topology.num_workers,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry, monitor=monitor)
         # Replicated phases end at a barrier, so the slowest device gates
         # every data-parallel compute step; expert compute is per-owner.
         self.device = topology.device
@@ -472,6 +487,12 @@ class ExpertParallelEngine:
         t0 = self._telemetry_now
         if telemetry is not None:
             self.broker._record_dispatch_bytes(np.asarray(step_counts))
+        if self.monitor is not None:
+            # The EP reference loop never builds a dispatch plan, so feed
+            # the monitor (and the broker's worker-load gauges) explicitly.
+            self.monitor.observe_step(step_counts, step=step)
+            self.broker._publish_worker_load(self.placement.tokens_per_worker(
+                np.asarray(step_counts), n))
 
         total = comm = compute = sync = 0.0
         cross_bytes = 0.0
@@ -605,6 +626,9 @@ class ExpertParallelEngine:
             self.sync_software_overhead_s
 
         plan = self.broker.plan_trace(trace.counts[:limit])
+        if self.monitor is not None:
+            for step in range(limit):
+                self.monitor.observe_step(trace.counts[step], step=step)
         # Per-destination payload of the uniform-shard all-to-all: the byte
         # matrix of `_byte_matrix` has identical rows, so one (S, L, N) slab
         # carries every step's matrices at once.

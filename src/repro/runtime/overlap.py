@@ -117,6 +117,8 @@ class OverlappedMasterWorkerEngine(MasterWorkerEngine):
     def run_step(self, step_counts: np.ndarray, step: int = 0) -> StepMetrics:
         """Simulate one fine-tuning step; returns its metrics."""
         plan = self.broker.plan_step(step_counts)
+        if self.monitor is not None:
+            self.monitor.observe_step(step_counts, step=step)
         tokens = float(self.tokens_per_step)
         telemetry = self.telemetry
         t0 = self._telemetry_now

@@ -26,6 +26,7 @@ from ..nn.tensor import no_grad
 from ..routing.synthetic import SyntheticRouter
 from ..runtime.flops import FlopModel
 from ..telemetry import Telemetry
+from ..telemetry.monitor import RoutingHealthMonitor
 from .cache import ExpertCache
 
 
@@ -107,14 +108,21 @@ class LiveDecodeEngine:
     With ``telemetry=``, the prompt pass records a wall-clock
     ``serve.prefill`` span and feeds the ``serve.prefill_latency_s``
     histogram; every subsequent token records a ``serve.decode_token`` span
-    and feeds ``serve.token_latency_s`` (mean/p50/p99 in the summary
+    and feeds ``serve.token_latency_s`` (mean/p50/p95/p99 in the summary
     table).  All spans land back to back on the ``decode`` track, so the
     per-phase sums tile the decode wall time.
+
+    With ``monitor=`` (a :class:`~repro.telemetry.monitor.
+    RoutingHealthMonitor`), every forward — the prefill and each decoded
+    token — feeds the monitor's routing-health gauges from the model's
+    routing records, so a long decode loop can be scraped live through
+    :class:`~repro.telemetry.server.MetricsServer` while it runs.
     """
 
     def __init__(self, model: MoETransformer, dispatch: str = "fused",
                  mode: str = "cached",
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
@@ -125,6 +133,7 @@ class LiveDecodeEngine:
         self.model.set_dispatch_mode(dispatch)
         self.mode = mode
         self.telemetry = telemetry
+        self.monitor = monitor
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int,
                mode: Optional[str] = None) -> np.ndarray:
@@ -162,6 +171,8 @@ class LiveDecodeEngine:
         ids = np.empty((batch, total_len), dtype=np.int64)
         ids[:, :prompt_len] = prompt_ids
         telemetry = self.telemetry
+        monitor = self.monitor
+        num_experts = self.model.config.num_experts
         clock = telemetry.tracer.clock if telemetry is not None else None
         try:
             with no_grad():
@@ -183,6 +194,9 @@ class LiveDecodeEngine:
                     telemetry.histogram(
                         "serve.prefill_latency_s").observe(now - mark)
                     mark = now
+                if monitor is not None:
+                    monitor.observe_records(self.model.routing_records(),
+                                            num_experts=num_experts)
                 for token in range(1, num_tokens):
                     position = prompt_len + token
                     if mode == "cached":
@@ -201,6 +215,9 @@ class LiveDecodeEngine:
                         telemetry.histogram(
                             "serve.token_latency_s").observe(now - mark)
                         mark = now
+                    if monitor is not None:
+                        monitor.observe_records(self.model.routing_records(),
+                                                num_experts=num_experts)
         finally:
             self.model.train(was_training)
             for moe, previous in zip(moe_blocks, previous_probs):

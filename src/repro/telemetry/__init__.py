@@ -12,19 +12,36 @@ broker, the live trainer, and the serving engines.  It collects:
   latency).
 
 Exporters turn one run into a ``chrome://tracing`` / Perfetto JSON
-timeline, a flat CSV, or a plain-text summary table.  Span naming
-conventions and worked examples live in ``docs/OBSERVABILITY.md``.
+timeline, a flat CSV, a plain-text summary table, or a Prometheus text
+page.  Span naming conventions and worked examples live in
+``docs/OBSERVABILITY.md``.
 
-The subsystem is dependency-free (standard library only) and inert by
-default: with ``telemetry=None`` every instrumented hot path pays exactly
-one attribute check.
+On top of the raw instruments sits the **routing-health monitoring layer**
+(also threaded, as ``monitor=``): :class:`RoutingHealthMonitor` publishes
+paper-aligned gauges (load imbalance, locality hit-rate, gate entropy,
+Theorem-1 drift margin), latches anomaly :class:`MonitorEvent` streams
+into append-only JSONL :class:`EventLog` files, brackets runs with
+:class:`RunManifest` documents, and is servable live over HTTP via
+:class:`MetricsServer` (``/metrics`` + ``/healthz``).
+
+The subsystem is dependency-free (standard library only, numpy for the
+monitor math) and inert by default: with ``telemetry=None`` /
+``monitor=None`` every instrumented hot path pays exactly one attribute
+check.
 """
 
 from .clock import Clock, SimulatedClock, WallClock
+from .events import (EventLog, MonitorEvent, RunManifest, current_git_rev,
+                     read_events)
 from .export import (chrome_trace_events, summary_table, write_chrome_trace,
                      write_csv)
 from .instruments import Counter, Gauge, Histogram, labels_key
+from .monitor import (ANOMALY_KINDS, MonitorThresholds, RoutingHealthMonitor,
+                      load_imbalance, locality_hit_rate)
+from .promexport import CONTENT_TYPE, format_value, metric_name, \
+    prometheus_text
 from .registry import Registry, SpanRecord
+from .server import MetricsServer
 from .tracer import Telemetry, Tracer
 
 __all__ = [
@@ -34,4 +51,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "labels_key",
     "chrome_trace_events", "write_chrome_trace", "write_csv",
     "summary_table",
+    "RoutingHealthMonitor", "MonitorThresholds", "ANOMALY_KINDS",
+    "load_imbalance", "locality_hit_rate",
+    "MonitorEvent", "EventLog", "read_events", "RunManifest",
+    "current_git_rev",
+    "prometheus_text", "CONTENT_TYPE", "format_value", "metric_name",
+    "MetricsServer",
 ]

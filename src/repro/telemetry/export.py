@@ -141,11 +141,12 @@ def summary_table(registry: Registry) -> str:
             ["name", "labels", "last", "updates"], gauge_rows))
 
     hist_rows = [[h.name, _labels_str(h.labels) or "-", h.count,
-                  f"{h.mean():.6g}", f"{h.quantile(0.5):.6g}",
-                  f"{h.quantile(0.99):.6g}"]
+                  f"{h.mean():.6g}", f"{h.percentile(50):.6g}",
+                  f"{h.percentile(95):.6g}", f"{h.percentile(99):.6g}"]
                  for h in registry.instruments("histogram")]
     if hist_rows:
         sections.append("histograms:\n" + _format_rows(
-            ["name", "labels", "count", "mean", "p50", "p99"], hist_rows))
+            ["name", "labels", "count", "mean", "p50", "p95", "p99"],
+            hist_rows))
 
     return "\n\n".join(sections) if sections else "(no telemetry recorded)"

@@ -116,3 +116,9 @@ class Histogram(Instrument):
         hi = min(lo + 1, len(ordered) - 1)
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def percentile(self, q: float) -> float:
+        """:meth:`quantile` on the 0–100 scale (``percentile(95)`` = p95)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        return self.quantile(q / 100.0)

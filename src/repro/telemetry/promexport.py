@@ -1,0 +1,114 @@
+"""Prometheus text exposition (format 0.0.4) for any telemetry registry.
+
+Renders counters, gauges, and histograms into the plain-text format every
+Prometheus-compatible scraper understands, with no client library:
+
+* metric names are sanitized (``routing.load_imbalance`` →
+  ``routing_load_imbalance``) and typed once via ``# TYPE`` lines;
+* labels are escaped per the exposition spec;
+* non-finite values render as ``+Inf`` / ``-Inf`` / ``NaN``;
+* histograms are exposed as summaries (``quantile`` 0.5/0.95/0.99 series
+  plus ``_sum`` and ``_count``), reusing the exact
+  :meth:`~repro.telemetry.instruments.Histogram.percentile` math the text
+  summary table prints.
+
+``repro.telemetry.server.MetricsServer`` serves this text at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple, Union
+
+from .registry import Registry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+HISTOGRAM_QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize an instrument name into a legal Prometheus metric name."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _label_value(value: Any) -> str:
+    text = str(value)
+    return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels_text(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    parts = [f'{_LABEL_SANITIZER.sub("_", str(k))}="{_label_value(v)}"'
+             for k, v in sorted(labels.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+def format_value(value: float) -> str:
+    """Render one sample value (``+Inf``/``-Inf``/``NaN`` per the spec)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _sample(name: str, labels: Dict[str, Any], value: float) -> str:
+    return f"{name}{_labels_text(labels)} {format_value(value)}"
+
+
+def prometheus_text(*registries: Union[Registry, Any]) -> str:
+    """Render one or more registries (or Telemetry facades) as one page.
+
+    Instruments are emitted in creation order, grouped under one ``# TYPE``
+    line per (sanitized) metric name; the same name appearing in multiple
+    registries shares a single type declaration.
+    """
+    declared: Dict[str, str] = {}
+    # name -> list of sample lines, in first-seen order
+    groups: Dict[str, List[str]] = {}
+    order: List[str] = []
+
+    def lines_for(name: str, prom_type: str) -> List[str]:
+        if name not in declared:
+            declared[name] = prom_type
+            groups[name] = []
+            order.append(name)
+        return groups[name]
+
+    for registry_like in registries:
+        registry = getattr(registry_like, "registry", registry_like)
+        for instrument in registry.instruments():
+            name = metric_name(instrument.name)
+            if instrument.kind == "counter":
+                lines_for(name, "counter").append(
+                    _sample(name, instrument.labels, instrument.value))
+            elif instrument.kind == "gauge":
+                lines_for(name, "gauge").append(
+                    _sample(name, instrument.labels, instrument.value))
+            elif instrument.kind == "histogram":
+                lines = lines_for(name, "summary")
+                for quantile in HISTOGRAM_QUANTILES:
+                    labels = dict(instrument.labels)
+                    labels["quantile"] = format_value(quantile)
+                    lines.append(_sample(name, labels,
+                                         instrument.quantile(quantile)))
+                lines.append(_sample(f"{name}_sum", instrument.labels,
+                                     instrument.total))
+                lines.append(_sample(f"{name}_count", instrument.labels,
+                                     instrument.count))
+
+    output: List[str] = []
+    for name in order:
+        output.append(f"# TYPE {name} {declared[name]}")
+        output.extend(groups[name])
+    return "\n".join(output) + ("\n" if output else "")

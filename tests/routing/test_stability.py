@@ -133,3 +133,22 @@ class TestStabilityMonitor:
     def test_validation(self):
         with pytest.raises(ValueError):
             StabilityMonitor(lr=0)
+
+    def test_report_to_dict_round_trips_json(self):
+        import json
+
+        report = self.make_monitor_with_drift(0.01, steps=10).report()
+        payload = report.to_dict()
+        # JSON-serializable as-is (run manifests embed it verbatim).
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["num_steps"] == report.num_steps
+        assert decoded["violations"] == report.violations
+        assert decoded["max_drift"] == report.per_step_max_drift.max()
+        assert decoded["max_frequency_change"] == \
+            report.max_frequency_change()
+        np.testing.assert_allclose(decoded["per_step_max_drift"],
+                                   report.per_step_max_drift)
+        np.testing.assert_allclose(decoded["per_step_bound"],
+                                   report.per_step_bound)
+        np.testing.assert_allclose(decoded["access_frequency"],
+                                   report.access_frequency)

@@ -1,0 +1,116 @@
+"""Tests for structured monitor events, JSONL logs, and run manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (EventLog, MonitorEvent, RunManifest,
+                             current_git_rev, read_events)
+
+
+class TestMonitorEvent:
+    def test_round_trip(self):
+        event = MonitorEvent(kind="load_spike", severity="critical", step=7,
+                             message="ratio 12 exceeds 4",
+                             time_unix=123.5,
+                             labels={"layer": 2, "ratio": 12.0})
+        back = MonitorEvent.from_dict(event.to_dict())
+        assert back == event
+
+    def test_defaults_fill_optional_fields(self):
+        back = MonitorEvent.from_dict({"kind": "run_start"})
+        assert back.severity == "info"
+        assert back.step is None
+        assert back.labels == {}
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorEvent(kind="x", severity="fatal")
+
+
+class TestEventLog:
+    def test_in_memory_only(self):
+        log = EventLog()
+        log.emit(MonitorEvent(kind="a"))
+        log.emit(MonitorEvent(kind="b"))
+        assert len(log) == 2
+        assert [e.kind for e in log.events] == ["a", "b"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(MonitorEvent(kind="run_start", time_unix=1.0))
+            log.emit(MonitorEvent(kind="drift_violation",
+                                  severity="critical", step=3,
+                                  labels={"expert": 1, "drift": 0.09}))
+        events = read_events(path)
+        assert [e.kind for e in events] == ["run_start", "drift_violation"]
+        assert events[1].labels == {"expert": 1, "drift": 0.09}
+        assert events[1].severity == "critical"
+
+    def test_append_across_reopens(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(MonitorEvent(kind="first"))
+        with EventLog(path) as log:
+            log.emit(MonitorEvent(kind="second"))
+        assert [e.kind for e in read_events(path)] == ["first", "second"]
+
+    def test_truncated_last_line_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(MonitorEvent(kind="kept"))
+        # Simulate a writer killed mid-append: half a JSON object at the
+        # tail must not poison the readable prefix.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "lost", "sever')
+        events = read_events(path)
+        assert [e.kind for e in events] == ["kept"]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps({"kind": "ok"}), "garbage not json",
+                 json.dumps({"kind": "later"})]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+
+class TestRunManifest:
+    def test_auto_run_id_and_start_time(self):
+        manifest = RunManifest()
+        assert manifest.run_id.startswith("run-")
+        assert manifest.started_unix > 0
+        assert manifest.status == "running"
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = RunManifest(run_id="run-abc", config={"steps": 20},
+                               seed=7, git_rev="deadbeef")
+        manifest.status = "completed"
+        manifest.ended_unix = manifest.started_unix + 5.0
+        manifest.final_metrics = {"final_loss": 1.25}
+        manifest.save(path)
+        back = RunManifest.load(path)
+        assert back.to_dict() == manifest.to_dict()
+
+    def test_saved_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        RunManifest(run_id="run-x").save(path)
+        payload = json.loads(path.read_text())
+        assert payload["run_id"] == "run-x"
+        assert payload["status"] == "running"
+
+
+class TestGitRev:
+    def test_inside_repo_returns_hex(self):
+        rev = current_git_rev()
+        # The test suite runs from a checkout; outside one None is fine.
+        if rev is not None:
+            assert len(rev) == 40
+            int(rev, 16)
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert current_git_rev(cwd=str(tmp_path)) is None

@@ -1,0 +1,108 @@
+"""Tests for the Prometheus text exposition exporter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import (CONTENT_TYPE, Registry, Telemetry, format_value,
+                             metric_name, prometheus_text)
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert metric_name("routing.load_imbalance") == \
+            "routing_load_imbalance"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("99th_latency") == "_99th_latency"
+
+    def test_colons_survive(self):
+        assert metric_name("ns:metric") == "ns:metric"
+
+
+class TestValues:
+    def test_special_floats(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+    def test_repr_round_trips(self):
+        assert float(format_value(0.1)) == 0.1
+
+
+class TestRendering:
+    def test_gauges_counters_and_type_lines(self):
+        tel = Telemetry()
+        tel.gauge("routing.locality_hit_rate").set(0.75)
+        tel.gauge("routing.load_imbalance", layer=0).set(3.5)
+        tel.gauge("routing.load_imbalance", layer=1).set(math.inf)
+        tel.counter("monitor.steps").add(4)
+        text = prometheus_text(tel)
+        lines = text.splitlines()
+        assert "# TYPE routing_locality_hit_rate gauge" in lines
+        assert "routing_locality_hit_rate 0.75" in lines
+        assert 'routing_load_imbalance{layer="0"} 3.5' in lines
+        assert 'routing_load_imbalance{layer="1"} +Inf' in lines
+        assert "# TYPE monitor_steps counter" in lines
+        assert "monitor_steps 4.0" in lines
+        # One TYPE line per name even with several labeled series.
+        assert sum(1 for line in lines
+                   if line.startswith("# TYPE routing_load_imbalance")) == 1
+
+    def test_samples_grouped_under_their_type_line(self):
+        tel = Telemetry()
+        tel.gauge("a.first").set(1.0)
+        tel.gauge("b.second").set(2.0)
+        tel.gauge("a.first", shard=1).set(3.0)
+        lines = prometheus_text(tel).splitlines()
+        # Both a_first samples sit directly under a_first's TYPE line,
+        # in first-seen order, before b_second appears.
+        assert lines[0] == "# TYPE a_first gauge"
+        assert lines[1] == "a_first 1.0"
+        assert lines[2] == 'a_first{shard="1"} 3.0'
+        assert lines[3] == "# TYPE b_second gauge"
+
+    def test_histogram_rendered_as_summary(self):
+        tel = Telemetry()
+        hist = tel.histogram("serve.token_latency_s")
+        for value in [0.01, 0.02, 0.03, 0.04]:
+            hist.observe(value)
+        lines = prometheus_text(tel).splitlines()
+        assert "# TYPE serve_token_latency_s summary" in lines
+        quantiles = [line for line in lines if "quantile=" in line]
+        assert len(quantiles) == 3
+        assert quantiles[0].startswith(
+            'serve_token_latency_s{quantile="0.5"}')
+        assert float(quantiles[0].split()[-1]) == \
+            pytest.approx(hist.percentile(50))
+        assert "serve_token_latency_s_sum 0.1" in lines
+        assert "serve_token_latency_s_count 4.0" in lines
+
+    def test_label_escaping(self):
+        tel = Telemetry()
+        tel.gauge("g", note='say "hi"\nbye\\now').set(1.0)
+        text = prometheus_text(tel)
+        assert r'note="say \"hi\"\nbye\\now"' in text
+
+    def test_multi_registry_shares_type_lines(self):
+        a, b = Telemetry(), Telemetry()
+        a.gauge("shared.metric", source="a").set(1.0)
+        b.gauge("shared.metric", source="b").set(2.0)
+        lines = prometheus_text(a, b).splitlines()
+        assert sum(1 for line in lines
+                   if line.startswith("# TYPE shared_metric")) == 1
+        assert 'shared_metric{source="a"} 1.0' in lines
+        assert 'shared_metric{source="b"} 2.0' in lines
+
+    def test_accepts_bare_registry(self):
+        registry = Registry()
+        registry.gauge("x").set(1.0)
+        assert "x 1.0" in prometheus_text(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(Telemetry()) == ""
+
+    def test_content_type_constant(self):
+        assert "version=0.0.4" in CONTENT_TYPE

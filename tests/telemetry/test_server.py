@@ -1,0 +1,131 @@
+"""Tests for the /metrics + /healthz HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, nano_moe
+from repro.serving import LiveDecodeEngine
+from repro.telemetry import (MetricsServer, MonitorThresholds, Registry,
+                             RoutingHealthMonitor, Telemetry)
+
+
+def _get(url: str):
+    """(status, body) for a GET, without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+class TestConstruction:
+    def test_requires_a_source(self):
+        with pytest.raises(ValueError):
+            MetricsServer()
+
+    def test_accepts_registry_telemetry_and_monitor(self):
+        registry = Registry()
+        telemetry = Telemetry()
+        monitor = RoutingHealthMonitor()
+        server = MetricsServer(registry, telemetry, monitor)
+        assert len(server.registries) == 3
+        assert server.monitor is monitor
+
+    def test_duplicate_registries_deduped(self):
+        telemetry = Telemetry()
+        server = MetricsServer(telemetry, telemetry.registry, telemetry)
+        assert len(server.registries) == 1
+
+
+class TestEndpoints:
+    def test_metrics_and_404(self):
+        telemetry = Telemetry()
+        telemetry.gauge("routing.locality_hit_rate").set(0.9)
+        with MetricsServer(telemetry) as server:
+            status, body = _get(f"{server.url}/metrics")
+            assert status == 200
+            assert "routing_locality_hit_rate 0.9" in body
+            status, _ = _get(f"{server.url}/nope")
+            assert status == 404
+
+    def test_healthz_without_monitor(self):
+        telemetry = Telemetry()
+        with MetricsServer(telemetry) as server:
+            status, body = _get(f"{server.url}/healthz")
+            assert status == 200
+            assert json.loads(body) == {"status": "ok", "monitored": False}
+
+    def test_healthz_flips_on_anomaly_and_recovers(self):
+        monitor = RoutingHealthMonitor(
+            thresholds=MonitorThresholds(max_load_imbalance=4.0))
+        with MetricsServer(monitor) as server:
+            monitor.observe_step(np.array([[10, 10]]), step=0)
+            status, body = _get(f"{server.url}/healthz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+            assert payload["monitored"] is True
+            assert payload["steps_observed"] == 1
+
+            # An unrecovered anomaly must flip the probe to 503.
+            monitor.observe_step(np.array([[99, 1]]), step=1)
+            status, body = _get(f"{server.url}/healthz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["status"] == "unhealthy"
+            assert payload["active_anomalies"] == ["load_spike"]
+
+            monitor.observe_step(np.array([[10, 10]]), step=2)
+            status, _ = _get(f"{server.url}/healthz")
+            assert status == 200
+
+
+class TestLiveScrape:
+    def test_scrape_during_background_decode(self):
+        """/metrics serves routing gauges while a decode thread runs."""
+        config = nano_moe(seed=0)
+        model = build_model(config)
+        monitor = RoutingHealthMonitor()
+        engine = LiveDecodeEngine(model, monitor=monitor)
+        prompt = np.array([[1, 2, 3, 4, 5, 6, 7, 8]])
+        generated = {}
+
+        def decode():
+            generated["ids"] = engine.decode(prompt, num_tokens=48)
+
+        with MetricsServer(monitor) as server:
+            thread = threading.Thread(target=decode)
+            thread.start()
+            scraped = []
+            try:
+                # Scrape repeatedly while tokens stream; the monitor's lock
+                # makes every read a consistent snapshot.
+                while thread.is_alive():
+                    status, body = _get(f"{server.url}/metrics")
+                    assert status == 200
+                    scraped.append(body)
+            finally:
+                thread.join()
+            status, final = _get(f"{server.url}/metrics")
+            assert status == 200
+            scraped.append(final)
+            status, health = _get(f"{server.url}/healthz")
+        assert generated["ids"].shape == (1, 48)
+        # Prefill + every decode step fed the monitor.
+        assert monitor.steps_observed == 48
+        with_gauges = [body for body in scraped
+                       if "routing_load_imbalance_max" in body]
+        assert with_gauges, "no scrape saw the routing gauges"
+        # The decode hot loop runs with record_probs off, so only the
+        # count-based gauges flow (no gate entropy without probabilities).
+        assert 'routing_load_imbalance{layer="0"}' in scraped[-1]
+        assert f"monitor_steps {float(monitor.steps_observed)}" in scraped[-1]
+        assert status == 200
+        assert json.loads(health)["steps_observed"] == 48

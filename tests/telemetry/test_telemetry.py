@@ -161,6 +161,25 @@ class TestInstruments:
         with pytest.raises(ValueError):
             hist.quantile(1.5)
 
+    def test_histogram_percentile_is_scaled_quantile(self):
+        hist = Histogram("lat", {})
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(50) == hist.quantile(0.5)
+        assert hist.percentile(95) == hist.quantile(0.95)
+        assert hist.percentile(99) == hist.quantile(0.99)
+        assert hist.percentile(95) == pytest.approx(95.05)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_histogram_percentile_bounds(self):
+        hist = Histogram("lat", {})
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
     def test_high_cardinality_counters_stay_distinct(self):
         # The broker records (layer, expert, worker) edges: L x E entries.
         registry = Registry()
@@ -235,6 +254,20 @@ class TestExporters:
                          if e.get("name") == "process_name"}
         assert process_names == {"engine-a", "engine-b"}
 
+    def test_multi_registry_pid_order_is_stable(self, tmp_path):
+        # pids follow the argument order: first registry -> pid 1 — so a
+        # combined trace always shows engines in the order they were passed.
+        tel_a, tel_b = _sample_telemetry(), _sample_telemetry()
+        path = tmp_path / "combined.json"
+        write_chrome_trace(path, tel_a.registry, tel_b.registry,
+                           names=["engine-a", "engine-b"])
+        events = json.loads(path.read_text())["traceEvents"]
+        pid_by_name = {e["args"]["name"]: e["pid"] for e in events
+                       if e.get("name") == "process_name"}
+        assert pid_by_name == {"engine-a": 1, "engine-b": 2}
+        sample_pids = [e["pid"] for e in events if e["ph"] == "X"]
+        assert sample_pids == sorted(sample_pids)
+
     def test_chrome_events_without_file(self):
         events = chrome_trace_events(_sample_telemetry().registry)
         assert any(e["ph"] == "X" for e in events)
@@ -266,6 +299,13 @@ class TestExporters:
         assert "histograms:" in text
         assert "comm.bytes" in text
         assert "worker-1" in text
+
+    def test_summary_reports_tail_percentiles(self):
+        text = _sample_telemetry().summary()
+        for header in ("p50", "p95", "p99"):
+            assert header in text
+        # Sample histogram holds {0.01, 0.03}: p95 interpolates to 0.029.
+        assert "0.029" in text
 
     def test_summary_empty(self):
         assert Telemetry().summary() == "(no telemetry recorded)"

@@ -1,0 +1,139 @@
+"""Tests for the benchmark-regression comparison tool."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression", _TOOLS / "check_bench_regression.py")
+cbr = importlib.util.module_from_spec(_spec)
+# dataclasses resolves the defining module through sys.modules at class
+# creation time, so register before exec.
+sys.modules[_spec.name] = cbr
+_spec.loader.exec_module(cbr)
+
+
+def replay_payload(speedup=100.0, divergence=1e-15, cache_ratio=0.001):
+    return {
+        "headline": {
+            "speedup": speedup,
+            "max_divergence": divergence,
+            "divergence_tolerance": 1e-9,
+            "cache_ratio": cache_ratio,
+            "cache_max_ratio": 0.1,
+        },
+    }
+
+
+def serving_payload(speedup=10.0, ids_identical=True, records_flowing=True):
+    return {
+        "headline": {
+            "speedup": speedup,
+            "ids_identical": ids_identical,
+            "records_flowing": records_flowing,
+        },
+    }
+
+
+class TestLookup:
+    def test_nested_path(self):
+        assert cbr.lookup({"a": {"b": 3}}, "a.b") == 3
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            cbr.lookup({"a": {}}, "a.b")
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        findings = cbr.compare("replay", replay_payload(), replay_payload())
+        assert all(f.ok for f in findings)
+
+    def test_speedup_within_band_passes(self):
+        findings = cbr.compare("replay", replay_payload(speedup=60.0),
+                               replay_payload(speedup=100.0), tolerance=0.5)
+        assert all(f.ok for f in findings)
+
+    def test_speedup_below_band_fails(self):
+        findings = cbr.compare("replay", replay_payload(speedup=40.0),
+                               replay_payload(speedup=100.0), tolerance=0.5)
+        failed = [f for f in findings if not f.ok]
+        assert [f.path for f in failed] == ["headline.speedup"]
+
+    def test_divergence_is_a_hard_gate(self):
+        # The limit comes from the baseline's recorded tolerance, with no
+        # band widening — any divergence above it is a correctness bug.
+        findings = cbr.compare("replay", replay_payload(divergence=1e-6),
+                               replay_payload(), tolerance=0.5)
+        failed = [f for f in findings if not f.ok]
+        assert [f.path for f in failed] == ["headline.max_divergence"]
+
+    def test_cache_ratio_checked_against_gate_not_measurement(self):
+        # Fresh smoke runs use smaller cache workloads; only the committed
+        # max-ratio gate applies.
+        findings = cbr.compare("replay", replay_payload(cache_ratio=0.09),
+                               replay_payload(cache_ratio=0.0001))
+        assert all(f.ok for f in findings)
+        findings = cbr.compare("replay", replay_payload(cache_ratio=0.2),
+                               replay_payload())
+        assert not all(f.ok for f in findings)
+
+    def test_serving_boolean_regression_fails(self):
+        findings = cbr.compare("serving",
+                               serving_payload(ids_identical=False),
+                               serving_payload())
+        failed = [f for f in findings if not f.ok]
+        assert [f.path for f in failed] == ["headline.ids_identical"]
+
+    def test_missing_field_reported_not_raised(self):
+        findings = cbr.compare("serving", {"headline": {}},
+                               serving_payload())
+        assert all(not f.ok for f in findings)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            cbr.compare("nope", {}, {})
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            cbr.compare("replay", replay_payload(), replay_payload(),
+                        tolerance=1.0)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        fresh = self._write(tmp_path, "fresh.json", serving_payload(9.0))
+        base = self._write(tmp_path, "base.json", serving_payload(10.0))
+        code = cbr.main(["--kind", "serving", "--fresh", fresh,
+                         "--baseline", base])
+        assert code == 0
+        assert "all 3 checks" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        fresh = self._write(tmp_path, "fresh.json", serving_payload(2.0))
+        base = self._write(tmp_path, "base.json", serving_payload(10.0))
+        code = cbr.main(["--kind", "serving", "--fresh", fresh,
+                         "--baseline", base])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_against_committed_baselines(self, tmp_path):
+        """The committed baselines must pass their own comparison."""
+        repo = _TOOLS.parent
+        for kind, name in (("replay", "BENCH_replay.json"),
+                           ("serving", "BENCH_serving.json")):
+            baseline = str(repo / name)
+            code = cbr.main(["--kind", kind, "--fresh", baseline,
+                             "--baseline", baseline])
+            assert code == 0

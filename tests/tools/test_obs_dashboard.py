@@ -1,0 +1,85 @@
+"""Tests for the ASCII routing-health dashboard."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+from repro.telemetry import MonitorEvent
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location(
+    "obs_dashboard", _TOOLS / "obs_dashboard.py")
+dash = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(dash)
+
+
+def _events():
+    return [
+        MonitorEvent(kind="run_start", labels={"run_id": "run-abc"}),
+        MonitorEvent(kind="load_spike", severity="critical", step=3,
+                     message="layer 0 ratio 12 exceeds 4"),
+        MonitorEvent(kind="load_spike.recovered", step=5,
+                     message="load_spike cleared"),
+        MonitorEvent(kind="drift_violation", severity="critical", step=7,
+                     message="expert 0 drift exceeds bound"),
+    ]
+
+
+class TestActiveAnomalies:
+    def test_recovered_anomaly_is_cleared(self):
+        assert dash.active_anomalies(_events()) == ["drift_violation"]
+
+    def test_empty_stream(self):
+        assert dash.active_anomalies([]) == []
+
+    def test_duplicate_fires_counted_once(self):
+        events = [MonitorEvent(kind="load_spike", severity="critical"),
+                  MonitorEvent(kind="load_spike", severity="critical")]
+        assert dash.active_anomalies(events) == ["load_spike"]
+
+
+class TestRender:
+    def test_header_and_recent_events(self):
+        text = dash.render_dashboard(_events())
+        assert "run: run-abc" in text
+        assert "status: running" in text
+        assert "active anomalies: drift_violation" in text
+        assert "critical=2" in text
+        assert "load_spike.recovered" in text
+
+    def test_finished_run(self):
+        events = _events() + [MonitorEvent(kind="run_end",
+                                           labels={"run_id": "run-abc"})]
+        assert "status: finished" in dash.render_dashboard(events)
+
+    def test_empty_log(self):
+        assert "(no events yet)" in dash.render_dashboard([])
+
+    def test_last_limits_rows(self):
+        events = [MonitorEvent(kind=f"k{i}") for i in range(20)]
+        text = dash.render_dashboard(events, last=5)
+        assert "k19" in text and "k14" not in text
+
+    def test_long_messages_clipped_to_width(self):
+        events = [MonitorEvent(kind="load_spike", severity="critical",
+                               message="x" * 500)]
+        text = dash.render_dashboard(events, width=60)
+        assert all(len(line) <= 60 for line in text.splitlines())
+
+
+class TestCli:
+    def test_renders_file_once(self, tmp_path, capsys):
+        from repro.telemetry import EventLog
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            for event in _events():
+                log.emit(event)
+        assert dash.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run: run-abc" in out
+        assert "drift_violation" in out
+
+    def test_missing_file_renders_empty(self, tmp_path, capsys):
+        assert dash.main([str(tmp_path / "absent.jsonl")]) == 0
+        assert "(no events yet)" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""ASCII dashboard over a routing-health monitor event log.
+
+Renders the JSONL stream a :class:`~repro.telemetry.monitor.
+RoutingHealthMonitor` appends (via :class:`~repro.telemetry.events.
+EventLog`) as a terminal dashboard: run header, severity tallies,
+currently-active anomalies (fired but not yet recovered), and the most
+recent events.  ``--follow`` re-reads the file on an interval, so it can
+sit beside a long fine-tune the way ``tail -f`` would — the reader
+tolerates a half-written final line, which is exactly the state a live
+append-only log is usually in.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_dashboard.py runs/events.jsonl
+    PYTHONPATH=src python tools/obs_dashboard.py runs/events.jsonl --follow
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List, Optional
+
+from repro.telemetry import ANOMALY_KINDS, MonitorEvent, read_events
+
+SEVERITY_MARKS = {"info": " ", "warning": "!", "critical": "X"}
+RECOVERED_SUFFIX = ".recovered"
+
+
+def active_anomalies(events: Iterable[MonitorEvent]) -> List[str]:
+    """Anomaly kinds currently latched: fired without a later recovery."""
+    active = []
+    for event in events:
+        if event.kind in ANOMALY_KINDS:
+            if event.kind not in active:
+                active.append(event.kind)
+        elif event.kind.endswith(RECOVERED_SUFFIX):
+            kind = event.kind[:-len(RECOVERED_SUFFIX)]
+            if kind in active:
+                active.remove(kind)
+    return active
+
+
+def _format_event(event: MonitorEvent, width: int) -> str:
+    mark = SEVERITY_MARKS.get(event.severity, "?")
+    step = "-" if event.step is None else str(event.step)
+    line = f" {mark} step {step:>6}  {event.kind:<24} {event.message}"
+    return line if len(line) <= width else line[:width - 1] + "…"
+
+
+def render_dashboard(events: List[MonitorEvent], last: int = 10,
+                     width: int = 78) -> str:
+    """Render the dashboard for ``events`` (oldest first) as one string."""
+    rule = "=" * width
+    lines = [rule, "routing-health events".center(width), rule]
+    if not events:
+        lines.append(" (no events yet)")
+        return "\n".join(lines)
+
+    run_id = next((e.labels.get("run_id") for e in events
+                   if e.kind == "run_start" and "run_id" in e.labels), None)
+    ended = any(e.kind == "run_end" for e in events)
+    status = "finished" if ended else "running"
+    header = f" run: {run_id or 'unknown'}   status: {status}"
+    tallies = {severity: 0 for severity in ("info", "warning", "critical")}
+    for event in events:
+        tallies[event.severity] = tallies.get(event.severity, 0) + 1
+    header += ("   events: " +
+               " ".join(f"{k}={v}" for k, v in tallies.items() if v))
+    lines.append(header)
+
+    anomalies = active_anomalies(events)
+    lines.append(f" active anomalies: "
+                 f"{', '.join(anomalies) if anomalies else 'none'}")
+    lines.append("-" * width)
+    for event in events[-last:]:
+        lines.append(_format_event(event, width))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSONL event log to render")
+    parser.add_argument("--follow", action="store_true",
+                        help="re-read and re-render until interrupted")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period in seconds for --follow")
+    parser.add_argument("--last", type=int, default=10,
+                        help="how many trailing events to show")
+    args = parser.parse_args(argv)
+
+    while True:
+        try:
+            events = read_events(args.path)
+        except FileNotFoundError:
+            events = []
+        frame = render_dashboard(events, last=args.last)
+        if args.follow:
+            # ANSI clear + home keeps the frame in place like `watch`.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+        else:
+            print(frame)
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
