@@ -10,8 +10,13 @@ from .attention import (KVCache, MultiHeadAttention, causal_mask,
 from .layers import (Dropout, Embedding, LayerNorm, Linear, Module, Parameter,
                      RMSNorm, Sequential)
 from .optim import SGD, AdamW, GradClipper, Optimizer
+from .quant import (QuantizationReport, QuantizedLinear, QuantizedTensor,
+                    dequantize, quantize_expert_weights, quantize_tensor,
+                    quantized_matmul)
 from .schedule import ConstantLR, LRScheduler, StepDecayLR, WarmupCosineLR
-from .serialize import checkpoint_nbytes, load_checkpoint, save_checkpoint
+from .serialize import (checkpoint_nbytes, load_checkpoint,
+                        load_quantized_state, save_checkpoint,
+                        save_quantized_state)
 from .tensor import (Tensor, concatenate, default_dtype, get_default_dtype,
                      is_grad_enabled, no_grad, ones, set_default_dtype, stack,
                      tensor, where, zeros)
@@ -26,5 +31,9 @@ __all__ = [
     "Optimizer", "SGD", "AdamW", "GradClipper",
     "LRScheduler", "ConstantLR", "WarmupCosineLR", "StepDecayLR",
     "save_checkpoint", "load_checkpoint", "checkpoint_nbytes",
+    "save_quantized_state", "load_quantized_state",
+    "QuantizedTensor", "QuantizedLinear", "QuantizationReport",
+    "quantize_tensor", "quantized_matmul", "dequantize",
+    "quantize_expert_weights",
     "functional",
 ]

@@ -1,0 +1,36 @@
+"""Multi-core expert-parallel execution with shared-memory weights.
+
+The package turns the fused MoE dispatch's per-expert segments into
+independently schedulable tasks:
+
+* :mod:`~repro.parallel.shm` — :class:`SharedWeightStore` places each MoE
+  layer's expert weights in one shared-memory segment (``native`` float64
+  or ``int8`` per-channel-quantized), rebuilt in place only on weight
+  update; :class:`WorkerWeightView` attaches read-only from any process.
+* :mod:`~repro.parallel.executor` — :class:`ProcessPoolExpertExecutor`
+  fans segments out to N forked workers; :class:`SerialExpertExecutor` is
+  the bit-compatible in-process fallback running the identical kernels.
+* :mod:`~repro.parallel.dispatch` — :func:`executor_dispatch`, the
+  one-node-per-layer autograd integration the hot paths call.
+
+Opt in through the knobs: ``Trainer(..., executor=...)``,
+``LiveDecodeEngine(..., executor=..., weight_format=...)``, or directly
+``MoEBlock.executor`` / ``MoETransformer.set_expert_executor``.  See
+``docs/ARCHITECTURE.md`` ("Parallel execution & quantization") and the
+knob table in ``docs/API.md``.
+"""
+
+from .dispatch import executor_dispatch
+from .executor import (EXECUTOR_KINDS, ExpertExecutor,
+                       ProcessPoolExpertExecutor, SerialExpertExecutor,
+                       make_executor)
+from .shm import (WEIGHT_FORMATS, LayerSpec, SharedWeightStore, StoreHandle,
+                  WorkerWeightView, expert_groups, expert_supported)
+
+__all__ = [
+    "ExpertExecutor", "SerialExpertExecutor", "ProcessPoolExpertExecutor",
+    "make_executor", "EXECUTOR_KINDS",
+    "SharedWeightStore", "WorkerWeightView", "StoreHandle", "LayerSpec",
+    "WEIGHT_FORMATS", "expert_groups", "expert_supported",
+    "executor_dispatch",
+]

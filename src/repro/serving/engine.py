@@ -22,7 +22,9 @@ from ..cluster.device import DeviceSpec, v100_32gb
 from ..models.config import MoEModelConfig
 from ..models.moe_block import DISPATCH_MODES
 from ..models.transformer import MoETransformer
+from ..nn.quant import quantize_expert_weights
 from ..nn.tensor import no_grad
+from ..parallel.shm import WEIGHT_FORMATS
 from ..routing.synthetic import SyntheticRouter
 from ..runtime.flops import FlopModel
 from ..telemetry import Telemetry
@@ -36,16 +38,37 @@ class ServingConfig:
 
     ``pcie_bandwidth`` and ``fetch_latency`` price a host->device expert
     fetch; defaults approximate PCIe 3.0 x16 and driver overheads.
+
+    ``weight_format`` selects what actually moves over the bus on a cache
+    miss: ``"fp16"`` (the paper's accounting, 2 bytes/param) or ``"int8"``
+    (the :mod:`repro.nn.quant` format — 1 byte/param codes plus one float
+    scale per output channel), which roughly halves per-miss fetch time.
     """
 
     device: DeviceSpec = field(default_factory=v100_32gb)
     pcie_bandwidth: float = 12e9
     fetch_latency_s: float = 0.5e-3
     context_len: int = 512
+    weight_format: str = "fp16"
+
+    def __post_init__(self) -> None:
+        if self.weight_format not in ("fp16", "int8"):
+            raise ValueError(f"weight_format must be 'fp16' or 'int8', "
+                             f"got {self.weight_format!r}")
 
     def fetch_time(self, expert_nbytes: int) -> float:
         """Seconds to fetch one expert from host memory."""
         return self.fetch_latency_s + expert_nbytes / self.pcie_bandwidth
+
+    def expert_fetch_nbytes(self, config: MoEModelConfig) -> int:
+        """Bytes one expert fetch moves, at the configured weight format."""
+        if self.weight_format == "fp16":
+            return config.expert_nbytes(bytes_per_param=2)
+        # int8: 1-byte codes per parameter plus 8-byte per-output-channel
+        # scales for the three projection matrices (w_gate/w_up: ffn rows
+        # each, w_down: hidden rows).
+        h, f = config.hidden_size, config.ffn_hidden_size
+        return config.expert_num_params() + 8 * (2 * f + h)
 
 
 @dataclass
@@ -122,18 +145,35 @@ class LiveDecodeEngine:
     def __init__(self, model: MoETransformer, dispatch: str = "fused",
                  mode: str = "cached",
                  telemetry: Optional[Telemetry] = None,
-                 monitor: Optional[RoutingHealthMonitor] = None):
+                 monitor: Optional[RoutingHealthMonitor] = None,
+                 executor=None, weight_format: str = "native"):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
         if mode not in DECODE_MODES:
             raise ValueError(f"mode must be one of {DECODE_MODES}, "
                              f"got {mode!r}")
+        if weight_format not in WEIGHT_FORMATS:
+            raise ValueError(f"weight_format must be one of "
+                             f"{WEIGHT_FORMATS}, got {weight_format!r}")
         self.model = model
         self.model.set_dispatch_mode(dispatch)
         self.mode = mode
         self.telemetry = telemetry
         self.monitor = monitor
+        self.executor = executor
+        self.weight_format = weight_format
+        self.quantization_report = None
+        if weight_format == "int8":
+            # Round-trip the expert weights through the int8 format so every
+            # in-process path (single-token fast path, prefill) computes with
+            # exactly the values an int8 deployment reconstructs — outputs
+            # then match the executor's int8 shared-memory store bit for bit.
+            self.quantization_report = quantize_expert_weights(model)
+        if executor is not None:
+            if not executor.bound:
+                executor.bind(model, weight_format=weight_format)
+            model.set_expert_executor(executor)
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int,
                mode: Optional[str] = None) -> np.ndarray:
@@ -242,7 +282,7 @@ class DecodeSimulator:
         self.serving = serving or ServingConfig()
         self.seed = seed
         self.flops = FlopModel(config)
-        self._expert_nbytes = config.expert_nbytes()
+        self._expert_nbytes = self.serving.expert_fetch_nbytes(config)
 
     def _token_compute_time(self) -> float:
         """One token through every block (attention + top_k experts)."""

@@ -117,12 +117,18 @@ class EventLog:
 def read_events(path) -> List[MonitorEvent]:
     """Read a JSONL event log back into :class:`MonitorEvent` objects.
 
-    A malformed *final* line is tolerated (a writer killed mid-append leaves
-    exactly one truncated line at the tail); malformed content anywhere else
-    raises ``ValueError`` — that is corruption, not a crash artifact.
+    A missing or empty file yields ``[]`` — a monitored run that emitted no
+    events (or never started) is not an error.  A malformed *final* line is
+    tolerated (a writer killed mid-append leaves exactly one truncated line
+    at the tail); malformed content anywhere else raises ``ValueError`` —
+    that is corruption, not a crash artifact.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = [line for line in handle.read().split("\n") if line.strip()]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().split("\n")
+                     if line.strip()]
+    except FileNotFoundError:
+        return []
     events: List[MonitorEvent] = []
     for index, line in enumerate(lines):
         try:

@@ -1,0 +1,147 @@
+"""Executor teardown: no leaked shared memory even on abnormal exits.
+
+The interesting failure modes (exception mid-step, KeyboardInterrupt,
+process death without ``close()``) are exercised in subprocesses so the
+resource tracker's at-exit report for THAT interpreter can be inspected —
+a leaked ``shared_memory`` segment shows up as a ``resource_tracker``
+warning on stderr, and an unlinked-but-leaked segment lingers under
+``/dev/shm``.
+"""
+
+import os
+import subprocess
+import sys
+import weakref
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.moe_block import MoEBlock
+from repro.nn.tensor import Tensor
+from repro.parallel import ProcessPoolExpertExecutor, executor_dispatch
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_PROLOGUE = """
+import numpy as np
+from repro.models.moe_block import MoEBlock
+from repro.nn.tensor import Tensor
+from repro.parallel import ProcessPoolExpertExecutor, executor_dispatch
+
+block = MoEBlock(16, 32, 4, 2, rng=np.random.default_rng(0))
+executor = ProcessPoolExpertExecutor(2)
+executor.bind(block)
+tokens = Tensor(np.random.default_rng(1).normal(size=(8, 16)))
+out = executor_dispatch(executor, 0, block.experts, tokens,
+                        block.gate(tokens))
+print("RAN_OK", out.data.shape)
+"""
+
+
+def shm_segments():
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {p.name for p in shm.iterdir() if p.name.startswith("psm_")}
+
+
+def run_script(body):
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    return subprocess.run([sys.executable, "-c", _PROLOGUE + body],
+                          capture_output=True, text=True, timeout=120,
+                          env=env)
+
+
+def assert_no_shm_leak(proc):
+    assert "RAN_OK" in proc.stdout, proc.stderr
+    # The resource tracker prints "leaked shared_memory objects" warnings
+    # at interpreter exit for any segment still registered; a KeyError in
+    # its output means a segment was unregistered twice (double unlink).
+    assert "leaked shared_memory" not in proc.stderr, proc.stderr
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "KeyError" not in proc.stderr, proc.stderr
+
+
+class TestSubprocessTeardown:
+    def test_clean_exit_without_close_leaks_nothing(self):
+        before = shm_segments()
+        proc = run_script("")  # relies on the weakref finalizer at exit
+        assert_no_shm_leak(proc)
+        assert shm_segments() <= before
+
+    def test_exception_mid_run_leaks_nothing(self):
+        before = shm_segments()
+        proc = run_script("raise RuntimeError('step blew up')\n")
+        assert proc.returncode != 0
+        assert "step blew up" in proc.stderr
+        assert_no_shm_leak(proc)
+        assert shm_segments() <= before
+
+    def test_keyboard_interrupt_leaks_nothing(self):
+        before = shm_segments()
+        proc = run_script("raise KeyboardInterrupt\n")
+        assert proc.returncode != 0
+        assert_no_shm_leak(proc)
+        assert shm_segments() <= before
+
+    def test_explicit_close_then_exit_is_quiet(self):
+        before = shm_segments()
+        proc = run_script("executor.close()\nprint('CLOSED')\n")
+        assert proc.returncode == 0
+        assert "CLOSED" in proc.stdout
+        assert_no_shm_leak(proc)
+        assert shm_segments() <= before
+
+
+class TestInProcessTeardown:
+    def _bound_executor(self):
+        block = MoEBlock(16, 32, 4, 2, rng=np.random.default_rng(0))
+        executor = ProcessPoolExpertExecutor(2)
+        executor.bind(block)
+        return block, executor
+
+    def test_close_is_idempotent(self):
+        _, executor = self._bound_executor()
+        executor.close()
+        executor.close()
+        assert not executor.bound
+
+    def test_closed_executor_declines_work(self):
+        _, executor = self._bound_executor()
+        assert executor.can_run(0)
+        executor.close()
+        assert not executor.can_run(0)
+
+    def test_context_manager_closes(self):
+        block = MoEBlock(16, 32, 4, 2, rng=np.random.default_rng(0))
+        with ProcessPoolExpertExecutor(2) as executor:
+            executor.bind(block)
+            assert executor.bound
+        assert not executor.bound
+
+    def test_terminate_hard_stops(self):
+        _, executor = self._bound_executor()
+        before = shm_segments()
+        executor.terminate()
+        assert not executor.bound
+        assert shm_segments() <= before
+
+    def test_garbage_collection_triggers_finalizer(self):
+        _, executor = self._bound_executor()
+        finalizer = executor._finalizer
+        assert finalizer is not None and finalizer.alive
+        ref = weakref.ref(executor)
+        del executor
+        if ref() is not None:  # pragma: no cover - cycle collector timing
+            import gc
+            gc.collect()
+        assert not finalizer.alive
+
+    def test_close_and_work_after_close_raises(self):
+        block, executor = self._bound_executor()
+        tokens = Tensor(np.random.default_rng(1).normal(size=(8, 16)))
+        gate_out = block.gate(tokens)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor_dispatch(executor, 0, block.experts, tokens, gate_out)

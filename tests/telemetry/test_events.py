@@ -69,6 +69,17 @@ class TestEventLog:
         events = read_events(path)
         assert [e.kind for e in events] == ["kept"]
 
+    def test_missing_file_returns_empty(self, tmp_path):
+        assert read_events(tmp_path / "never_written.jsonl") == []
+
+    def test_empty_file_returns_empty(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert read_events(path) == []
+        # Whitespace-only files (e.g. a flushed bare newline) count as empty.
+        path.write_text("\n\n", encoding="utf-8")
+        assert read_events(path) == []
+
     def test_corruption_before_tail_raises(self, tmp_path):
         path = tmp_path / "events.jsonl"
         lines = [json.dumps({"kind": "ok"}), "garbage not json",

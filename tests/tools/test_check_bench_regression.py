@@ -41,6 +41,18 @@ def serving_payload(speedup=10.0, ids_identical=True, records_flowing=True):
     }
 
 
+def parallel_payload(speedup_ok=True, equiv_native=0.0, equiv_int8=0.0):
+    return {
+        "headline": {
+            "speedup_ok": speedup_ok,
+            "equiv_native_max": equiv_native,
+            "native_tolerance": 1e-12,
+            "equiv_int8_max": equiv_int8,
+            "int8_tolerance": 1e-6,
+        },
+    }
+
+
 class TestLookup:
     def test_nested_path(self):
         assert cbr.lookup({"a": {"b": 3}}, "a.b") == 3
@@ -91,6 +103,26 @@ class TestCompare:
         failed = [f for f in findings if not f.ok]
         assert [f.path for f in failed] == ["headline.ids_identical"]
 
+    def test_parallel_equivalence_is_a_hard_gate(self):
+        findings = cbr.compare("parallel", parallel_payload(),
+                               parallel_payload())
+        assert all(f.ok for f in findings)
+        findings = cbr.compare("parallel",
+                               parallel_payload(equiv_native=1e-9),
+                               parallel_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.equiv_native_max"]
+        findings = cbr.compare("parallel", parallel_payload(equiv_int8=1e-3),
+                               parallel_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.equiv_int8_max"]
+
+    def test_parallel_speedup_gate_regression_fails(self):
+        findings = cbr.compare("parallel", parallel_payload(speedup_ok=False),
+                               parallel_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.speedup_ok"]
+
     def test_missing_field_reported_not_raised(self):
         findings = cbr.compare("serving", {"headline": {}},
                                serving_payload())
@@ -128,11 +160,30 @@ class TestMain:
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_missing_fresh_gets_distinct_exit_code(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", serving_payload())
+        code = cbr.main(["--kind", "serving",
+                         "--fresh", str(tmp_path / "absent.fresh.json"),
+                         "--baseline", base])
+        assert code == cbr.EXIT_MISSING_FRESH == 3
+        out = capsys.readouterr().out
+        assert "MISSING FRESH PAYLOAD" in out
+        assert "NOT a perf regression" in out
+
+    def test_missing_baseline_gets_distinct_exit_code(self, tmp_path,
+                                                      capsys):
+        fresh = self._write(tmp_path, "fresh.json", serving_payload())
+        code = cbr.main(["--kind", "serving", "--fresh", fresh,
+                         "--baseline", str(tmp_path / "absent.json")])
+        assert code == cbr.EXIT_MISSING_BASELINE == 4
+        assert "MISSING BASELINE" in capsys.readouterr().out
+
     def test_against_committed_baselines(self, tmp_path):
         """The committed baselines must pass their own comparison."""
         repo = _TOOLS.parent
         for kind, name in (("replay", "BENCH_replay.json"),
-                           ("serving", "BENCH_serving.json")):
+                           ("serving", "BENCH_serving.json"),
+                           ("parallel", "BENCH_parallel.json")):
             baseline = str(repo / name)
             code = cbr.main(["--kind", kind, "--fresh", baseline,
                              "--baseline", baseline])

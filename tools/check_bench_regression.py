@@ -37,6 +37,14 @@ from typing import List, Optional
 # back to the reference loop), not single-digit-percent drift.
 DEFAULT_TOLERANCE = 0.5
 
+# Exit codes: regressions are 1; missing input files get their own codes so
+# a CI log line like "exit 3" reads as "the benchmark never produced its
+# fresh payload" (the job above it failed) rather than a perf regression.
+EXIT_OK = 0
+EXIT_REGRESSED = 1
+EXIT_MISSING_FRESH = 3
+EXIT_MISSING_BASELINE = 4
+
 
 def lookup(payload: dict, dotted: str):
     """Resolve ``"headline.speedup"``-style paths into a nested dict."""
@@ -117,6 +125,17 @@ CHECKS = {
         Check("headline.ids_identical", "exact"),
         Check("headline.records_flowing", "exact"),
     ),
+    # The speedup gate is pre-evaluated by bench_parallel.py itself
+    # (``speedup_ok`` is true when the 4-worker gate passed, or when the
+    # host has too few cores to evaluate it honestly); equivalence limits
+    # compare against the committed run's recorded tolerances.
+    "parallel": (
+        Check("headline.speedup_ok", "exact"),
+        Check("headline.equiv_native_max", "limit",
+              baseline_path="headline.native_tolerance"),
+        Check("headline.equiv_int8_max", "limit",
+              baseline_path="headline.int8_tolerance"),
+    ),
 }
 
 
@@ -154,10 +173,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_TOLERANCE})")
     args = parser.parse_args(argv)
 
-    with open(args.fresh, encoding="utf-8") as fh:
-        fresh = json.load(fh)
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)
+    try:
+        with open(args.fresh, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+    except FileNotFoundError:
+        print(f"MISSING FRESH PAYLOAD: {args.fresh} does not exist — the "
+              f"benchmark run under test never wrote its output (check the "
+              f"bench step's own log); this is NOT a perf regression")
+        return EXIT_MISSING_FRESH
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"MISSING BASELINE: {args.baseline} does not exist — commit "
+              f"a blessed benchmark run for kind {args.kind!r}")
+        return EXIT_MISSING_BASELINE
 
     findings = compare(args.kind, fresh, baseline, args.tolerance)
     failed = [f for f in findings if not f.ok]
@@ -167,10 +197,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if failed:
         print(f"{len(failed)}/{len(findings)} checks regressed vs "
               f"{args.baseline}")
-        return 1
+        return EXIT_REGRESSED
     print(f"all {len(findings)} checks within tolerance "
           f"({args.tolerance:.0%}) of {args.baseline}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":
