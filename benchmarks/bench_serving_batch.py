@@ -1,0 +1,290 @@
+"""Continuous-batching serving benchmark: slot-pool engine vs single-stream.
+
+The live continuous-batching runtime (``repro.serving.scheduler``) admits
+open-loop arrivals into a fixed pool of KV-cache slots and advances every
+active request one token per batched engine step.  On a burst of
+concurrent requests this amortizes the per-step Python + small-GEMM
+overhead across the whole batch, so fleet throughput rises well above the
+one-request-at-a-time ``LiveDecodeEngine`` baseline while each request's
+greedy ids stay exactly what a solo decode would produce.
+
+Acceptance gates (hard, also enforced by ``--strict`` and CI):
+
+* batched throughput at 8 concurrent requests >= 3x sequential
+  single-stream decoding of the same workload,
+* a single request through the slot pool is greedy-bit-identical to
+  ``LiveDecodeEngine.decode(mode="cached")``,
+* every request of the batched headline run matches its solo decode.
+
+Run standalone for the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serving_batch.py \\
+        --output BENCH_serving_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.report import format_table
+from repro.models import build_model, tiny_mistral
+from repro.serving import (ContinuousBatchingEngine, LiveDecodeEngine,
+                           Request, poisson_workload)
+
+# Headline: a burst of 8 concurrent requests, prompt 16 x decode 32, on a
+# seeded tiny_mistral with an 8-slot pool, against decoding the same 8
+# requests one at a time through LiveDecodeEngine.
+HEADLINE_REQUESTS = 8
+HEADLINE_PROMPT = 16
+HEADLINE_DECODE = 32
+HEADLINE_SLOTS = 8
+MIN_THROUGHPUT_RATIO = 3.0
+
+# Goodput SLOs for the headline report (generous: they characterize the
+# tail, they are not the pass/fail gate — wall times are machine-relative).
+SLO_TTFT_S = 5.0
+SLO_TOKEN_LATENCY_S = 0.25
+
+SWEEP_SLOTS = (1, 2, 4, 8)
+SWEEP_RATES = (16.0, 64.0)  # requests/s into the open-loop stream
+MAX_SEQ_LEN = 64
+
+
+def _model():
+    """A seeded tiny_mistral able to hold prompt + decode in every slot."""
+    return build_model(tiny_mistral(seed=0, max_seq_len=MAX_SEQ_LEN))
+
+
+def _burst_requests(num=HEADLINE_REQUESTS, prompt_len=HEADLINE_PROMPT,
+                    decode=HEADLINE_DECODE, seed=5):
+    """``num`` requests all arriving at t=0 with distinct random prompts."""
+    rng = np.random.default_rng(seed)
+    vocab = tiny_mistral().vocab_size
+    return [Request(i, 0.0, decode,
+                    prompt_ids=rng.integers(0, vocab, size=prompt_len))
+            for i in range(num)]
+
+
+def _sequential_baseline(model, requests, iters=2):
+    """Wall time to decode the requests one at a time (single stream)."""
+    engine = LiveDecodeEngine(model)
+    best = float("inf")
+    outputs = None
+    for _ in range(iters):
+        start = time.perf_counter()
+        outs = [engine.decode(r.prompt_ids[None, :], r.decode_tokens)[0]
+                for r in requests]
+        best = min(best, time.perf_counter() - start)
+        outputs = outs
+    return best, outputs
+
+
+def measure_headline(iters: int = 2) -> dict:
+    """Batched vs sequential throughput plus both equivalence gates."""
+    requests = _burst_requests()
+    model = _model()
+    seq_time, seq_outputs = _sequential_baseline(model, requests,
+                                                 iters=iters)
+    total_tokens = sum(r.decode_tokens for r in requests)
+
+    best = None
+    for _ in range(iters):
+        engine = ContinuousBatchingEngine(_model(),
+                                          max_slots=HEADLINE_SLOTS)
+        metrics = engine.serve(requests)
+        if best is None or metrics.wall_time < best.wall_time:
+            best = metrics
+    per_request_identical = all(
+        np.array_equal(outcome.token_ids, solo)
+        for outcome, solo in zip(best.outcomes, seq_outputs))
+
+    # single-request anchor: one request, otherwise idle pool
+    solo_engine = ContinuousBatchingEngine(_model(),
+                                           max_slots=HEADLINE_SLOTS)
+    solo = solo_engine.serve([requests[0]]).outcomes[0]
+    single_request_identical = bool(np.array_equal(solo.token_ids,
+                                                   seq_outputs[0]))
+
+    batched_tput = best.throughput_tokens_per_s()
+    seq_tput = total_tokens / seq_time
+    return {
+        "num_requests": HEADLINE_REQUESTS,
+        "prompt_len": HEADLINE_PROMPT,
+        "decode_tokens": HEADLINE_DECODE,
+        "max_slots": HEADLINE_SLOTS,
+        "sequential_s": seq_time,
+        "batched_s": best.wall_time,
+        "sequential_tokens_per_s": seq_tput,
+        "batched_tokens_per_s": batched_tput,
+        "throughput_ratio": batched_tput / seq_tput,
+        "min_required": MIN_THROUGHPUT_RATIO,
+        "single_request_identical": single_request_identical,
+        "per_request_identical": per_request_identical,
+        "token_latency_p50_ms": best.token_latency_percentile(50) * 1e3,
+        "token_latency_p95_ms": best.token_latency_percentile(95) * 1e3,
+        "token_latency_p99_ms": best.token_latency_percentile(99) * 1e3,
+        "mean_ttft_ms": best.mean_ttft() * 1e3,
+        "goodput_tokens_per_s": best.goodput_tokens_per_s(
+            slo_ttft_s=SLO_TTFT_S,
+            slo_token_latency_s=SLO_TOKEN_LATENCY_S),
+        "slo": {"ttft_s": SLO_TTFT_S,
+                "token_latency_s": SLO_TOKEN_LATENCY_S},
+    }
+
+
+def measure_slots_sweep(slots_grid=SWEEP_SLOTS) -> list:
+    """The headline burst through pools of increasing size."""
+    requests = _burst_requests()
+    rows = []
+    for slots in slots_grid:
+        engine = ContinuousBatchingEngine(_model(), max_slots=slots)
+        metrics = engine.serve(requests)
+        rows.append({
+            "max_slots": slots,
+            "throughput_tokens_per_s": metrics.throughput_tokens_per_s(),
+            "token_latency_p99_ms":
+                metrics.token_latency_percentile(99) * 1e3,
+            "mean_queueing_ms": metrics.mean_queueing() * 1e3,
+            "mean_ttft_ms": metrics.mean_ttft() * 1e3,
+            "p99_request_latency_ms": metrics.p99_latency() * 1e3,
+        })
+    return rows
+
+
+def measure_rate_sweep(rates=SWEEP_RATES, slots=HEADLINE_SLOTS) -> list:
+    """Open-loop Poisson arrivals at increasing rates, fixed pool size."""
+    vocab = tiny_mistral().vocab_size
+    rows = []
+    for rate in rates:
+        requests = poisson_workload(12, arrival_rate=rate,
+                                    mean_decode_tokens=12, seed=7,
+                                    prompt_len=(8, 16), vocab_size=vocab)
+        requests = [r for r in requests
+                    if r.prompt_len + r.decode_tokens <= MAX_SEQ_LEN]
+        engine = ContinuousBatchingEngine(_model(), max_slots=slots)
+        metrics = engine.serve(requests)
+        rows.append({
+            "arrival_rate": rate,
+            "num_requests": len(requests),
+            "throughput_tokens_per_s": metrics.throughput_tokens_per_s(),
+            "mean_queueing_ms": metrics.mean_queueing() * 1e3,
+            "mean_ttft_ms": metrics.mean_ttft() * 1e3,
+            "p99_request_latency_ms": metrics.p99_latency() * 1e3,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------- #
+def test_serving_batch_headline(benchmark):
+    """Acceptance: >= 3x batched-vs-sequential throughput, ids identical."""
+    result = benchmark.pedantic(measure_headline, rounds=1, iterations=1)
+    print(f"\ncontinuous batching @ {result['num_requests']} requests x "
+          f"{result['decode_tokens']} tokens: sequential "
+          f"{result['sequential_tokens_per_s']:.0f} tok/s, batched "
+          f"{result['batched_tokens_per_s']:.0f} tok/s "
+          f"({result['throughput_ratio']:.1f}x)")
+    assert result["single_request_identical"]
+    assert result["per_request_identical"]
+    assert result["throughput_ratio"] >= MIN_THROUGHPUT_RATIO, result
+
+
+def test_continuous_engine_equivalence():
+    """Every batched request matches its solo decode (small workload)."""
+    requests = _burst_requests(num=4, prompt_len=8, decode=6)
+    engine = ContinuousBatchingEngine(_model(), max_slots=2)
+    metrics = engine.serve(requests)
+    live = LiveDecodeEngine(_model())
+    for request, outcome in zip(requests, metrics.outcomes):
+        solo = live.decode(request.prompt_ids[None, :],
+                           request.decode_tokens)[0]
+        np.testing.assert_array_equal(outcome.token_ids, solo,
+                                      err_msg=f"request "
+                                              f"{outcome.request_id}")
+
+
+def test_more_slots_do_not_hurt_throughput():
+    """On the headline burst, a bigger pool never decodes slower by much."""
+    rows = measure_slots_sweep(slots_grid=(1, 4))
+    assert rows[1]["throughput_tokens_per_s"] >= \
+        rows[0]["throughput_tokens_per_s"]
+
+
+# --------------------------------------------------------------------- #
+# standalone runner (JSON artifact)
+# --------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Continuous-batching serving benchmark")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="headline only, single iteration (CI)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if the headline misses "
+                             f"{MIN_THROUGHPUT_RATIO}x or ids diverge")
+    args = parser.parse_args(argv)
+
+    headline = measure_headline(iters=1 if args.smoke else 2)
+    slots_sweep = [] if args.smoke else measure_slots_sweep()
+    rate_sweep = [] if args.smoke else measure_rate_sweep()
+
+    print(f"headline: {HEADLINE_REQUESTS} requests x "
+          f"{HEADLINE_DECODE} tokens, prompt {HEADLINE_PROMPT}, "
+          f"{HEADLINE_SLOTS} slots")
+    print(format_table(
+        ["mode", "tok/s", "wall (s)"],
+        [["sequential", f"{headline['sequential_tokens_per_s']:.0f}",
+          f"{headline['sequential_s']:.2f}"],
+         ["batched", f"{headline['batched_tokens_per_s']:.0f}",
+          f"{headline['batched_s']:.2f}"]]))
+    print(f"throughput ratio {headline['throughput_ratio']:.1f}x "
+          f"(required {MIN_THROUGHPUT_RATIO}x), token p50/p95/p99 "
+          f"{headline['token_latency_p50_ms']:.1f}/"
+          f"{headline['token_latency_p95_ms']:.1f}/"
+          f"{headline['token_latency_p99_ms']:.1f} ms, goodput "
+          f"{headline['goodput_tokens_per_s']:.0f} tok/s")
+
+    if slots_sweep:
+        print("\nslot-count sweep (same burst):")
+        print(format_table(
+            ["slots", "tok/s", "p99 token ms", "mean queue ms"],
+            [[r["max_slots"], f"{r['throughput_tokens_per_s']:.0f}",
+              f"{r['token_latency_p99_ms']:.1f}",
+              f"{r['mean_queueing_ms']:.0f}"] for r in slots_sweep]))
+    if rate_sweep:
+        print("\narrival-rate sweep (8 slots, Poisson open loop):")
+        print(format_table(
+            ["req/s", "n", "tok/s", "mean ttft ms", "p99 latency ms"],
+            [[f"{r['arrival_rate']:.0f}", r["num_requests"],
+              f"{r['throughput_tokens_per_s']:.0f}",
+              f"{r['mean_ttft_ms']:.0f}",
+              f"{r['p99_request_latency_ms']:.0f}"] for r in rate_sweep]))
+
+    ok = (headline["throughput_ratio"] >= MIN_THROUGHPUT_RATIO
+          and headline["single_request_identical"]
+          and headline["per_request_identical"])
+    payload = {"headline": headline, "slots_sweep": slots_sweep,
+               "rate_sweep": rate_sweep}
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    print(f"headline: {headline['throughput_ratio']:.1f}x "
+          f"(required {MIN_THROUGHPUT_RATIO}x), equivalence "
+          f"{'OK' if headline['single_request_identical'] and headline['per_request_identical'] else 'BROKEN'}"
+          f" -> {'PASS' if ok else 'MISS'}")
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,19 @@ class TransformerBlock(Module):
         x = x + self.moe(self.ffn_norm(x))
         return x
 
+    def forward_slots(self, x: Tensor, cache: KVCache,
+                      slots: np.ndarray) -> Tensor:
+        """Per-slot variant of :meth:`forward_incremental`.
+
+        ``x`` row ``i`` continues the sequence in cache slot ``slots[i]``
+        at that slot's own cursor (ragged attention); the position-local
+        MoE FFN is shared with the uniform path, so a batched decode step
+        still takes the ``seq_len == 1`` fused fast path.
+        """
+        x = x + self.attn.forward_slots(self.attn_norm(x), cache, slots)
+        x = x + self.moe(self.ffn_norm(x))
+        return x
+
 
 class MoETransformer(Module):
     """Decoder-only MoE language model.
@@ -145,6 +158,56 @@ class MoETransformer(Module):
             self.position_embedding[position:position + seq]
         for block, cache in zip(self.blocks, caches):
             x = block.forward_incremental(x, cache)
+        return self.lm_head(self.final_norm(x))
+
+    def forward_slots(self, token_ids: np.ndarray, caches: List[KVCache],
+                      slots) -> Tensor:
+        """Next-token logits for a subset of KV-cache slots (ragged decode).
+
+        ``token_ids`` is ``(len(slots), seq)``: row ``i`` holds the next
+        ``seq`` tokens of the request occupying cache slot ``slots[i]``,
+        continuing at that slot's own fill cursor — one token per active
+        request on a continuous-batching decode step, a whole (equal-
+        length) prompt per row on a batched prefill of newly admitted
+        requests.  ``caches`` is the shared slot-pool set from
+        :meth:`new_kv_caches`; rows not listed in ``slots`` are untouched,
+        so waiting requests keep their state while others advance.
+        Inference-only.  With uniform cursors this computes bit for bit
+        what :meth:`forward_incremental` computes on the same rows.
+        """
+        if is_grad_enabled():
+            raise RuntimeError("forward_slots is inference-only; "
+                               "wrap the decode loop in no_grad()")
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"expected (rows, seq) token ids, got "
+                             f"{token_ids.shape}")
+        if len(caches) != len(self.blocks):
+            raise ValueError(f"expected {len(self.blocks)} KV caches, "
+                             f"got {len(caches)}")
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.ndim != 1 or slots.size != token_ids.shape[0]:
+            raise ValueError(f"slots must be 1-D with one entry per row, "
+                             f"got shape {slots.shape} for "
+                             f"{token_ids.shape[0]} rows")
+        positions = caches[0].positions[slots]
+        for index, cache in enumerate(caches[1:], start=1):
+            if not np.array_equal(cache.positions[slots], positions):
+                raise ValueError(f"KV caches are out of sync on the "
+                                 f"requested slots (layer {index} differs "
+                                 f"from layer 0)")
+        seq = token_ids.shape[1]
+        if np.any(positions + seq > self.config.max_seq_len):
+            worst = int(slots[int(np.argmax(positions))])
+            raise ValueError(f"slot {worst}: position "
+                             f"{int(positions.max())} + new tokens {seq} "
+                             f"exceeds max_seq_len {self.config.max_seq_len}")
+        # Per-row position embeddings: row i continues at positions[i].
+        pos_rows = self.position_embedding.data[
+            positions[:, None] + np.arange(seq)]
+        x = Tensor(self.token_embedding(token_ids).data + pos_rows)
+        for block, cache in zip(self.blocks, caches):
+            x = block.forward_slots(x, cache, slots)
         return self.lm_head(self.final_norm(x))
 
     def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:

@@ -6,6 +6,9 @@ the serving path decodes incrementally through a :class:`KVCache` and
 :meth:`MultiHeadAttention.forward_incremental`, which projects only the
 *new* positions and attends against the cached key/value prefix — the
 O(T) half of the prefill/decode split (`docs/ARCHITECTURE.md` § Serving).
+Continuous batching decodes many requests of different lengths through
+one shared cache via per-slot cursors and
+:meth:`MultiHeadAttention.forward_slots` (ragged, length-aware masking).
 """
 
 from __future__ import annotations
@@ -47,10 +50,23 @@ def incremental_causal_mask(seq_len: int, total_len: int,
 class KVCache:
     """Preallocated key/value buffers for one attention layer.
 
-    Holds ``(batch, max_len, num_heads, head_dim)`` buffers plus a fill
-    cursor (:attr:`position`).  :meth:`append` writes the new positions'
-    keys/values behind the cursor and returns views of the filled prefix —
-    no per-step reallocation, no concatenation.  One cache per transformer
+    Holds ``(batch, max_len, num_heads, head_dim)`` buffers plus one fill
+    cursor *per batch row* (:attr:`positions`).  Two write paths cover the
+    two serving runtimes:
+
+    * **uniform** — :meth:`append` advances every row together and returns
+      views of the filled prefix; this is the single-sequence
+      prefill/decode split (``LiveDecodeEngine``), where all rows hold the
+      same number of positions.  :attr:`position` exposes the shared
+      cursor and raises if the rows have diverged.
+    * **per-slot** — :meth:`append_rows` writes a subset of rows at their
+      own cursors; this is the continuous-batching slot pool
+      (``ContinuousBatchingEngine``), where each row is an independent
+      request at its own sequence length.  :meth:`reset` accepts a slot
+      list so an evicted row can be handed to the next request without
+      touching the others.
+
+    No per-step reallocation, no concatenation.  One cache per transformer
     block; allocate the full set with
     :meth:`repro.models.MoETransformer.new_kv_caches`.
     """
@@ -64,7 +80,7 @@ class KVCache:
         self.keys = np.zeros((batch, max_len, num_heads, head_dim),
                              dtype=dtype)
         self.values = np.zeros_like(self.keys)
-        self.position = 0
+        self._positions = np.zeros(batch, dtype=np.int64)
 
     @property
     def batch(self) -> int:
@@ -76,9 +92,37 @@ class KVCache:
         """Maximum number of positions the cache can hold."""
         return self.keys.shape[1]
 
-    def reset(self) -> None:
-        """Rewind the fill cursor (buffer contents are overwritten lazily)."""
-        self.position = 0
+    @property
+    def position(self) -> int:
+        """The shared fill cursor (uniform path).
+
+        Raises ``ValueError`` when rows carry different cursors — callers
+        on the ragged path must read :attr:`positions` instead.
+        """
+        first = int(self._positions[0])
+        if np.any(self._positions != first):
+            raise ValueError("KV cache rows are ragged (per-slot cursors "
+                             "differ); read positions, not position")
+        return first
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Per-row fill cursors, shape ``(batch,)`` (read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self, slots=None) -> None:
+        """Rewind fill cursors (buffer contents are overwritten lazily).
+
+        With ``slots`` (an index array) only those rows rewind — the slot
+        pool does this when a finished request's row is re-issued to the
+        next occupant; all other rows keep decoding undisturbed.
+        """
+        if slots is None:
+            self._positions[:] = 0
+        else:
+            self._positions[np.asarray(slots, dtype=np.int64)] = 0
 
     def append(self, keys: np.ndarray, values: np.ndarray):
         """Write new positions' keys/values; return the filled prefix views.
@@ -86,19 +130,55 @@ class KVCache:
         ``keys``/``values`` are ``(batch, seq, num_heads, head_dim)``.
         Returns ``(k, v)`` views of shape ``(batch, position, heads, hd)``
         covering everything appended so far (cursor already advanced).
+        Uniform path: every row advances together.
         """
         expected = (self.batch, keys.shape[1]) + self.keys.shape[2:]
         if keys.shape != expected or values.shape != expected:
             raise ValueError(f"expected key/value shape {expected}, got "
                              f"{keys.shape} / {values.shape}")
         seq = keys.shape[1]
-        if self.position + seq > self.max_len:
-            raise ValueError(f"KV cache overflow: {self.position} + {seq} "
+        position = self.position
+        if position + seq > self.max_len:
+            raise ValueError(f"KV cache overflow: {position} + {seq} "
                              f"exceeds max_len {self.max_len}")
-        self.keys[:, self.position:self.position + seq] = keys
-        self.values[:, self.position:self.position + seq] = values
-        self.position += seq
-        return (self.keys[:, :self.position], self.values[:, :self.position])
+        self.keys[:, position:position + seq] = keys
+        self.values[:, position:position + seq] = values
+        self._positions[:] = position + seq
+        return (self.keys[:, :position + seq], self.values[:, :position + seq])
+
+    def append_rows(self, slots: np.ndarray, keys: np.ndarray,
+                    values: np.ndarray) -> np.ndarray:
+        """Write ``keys``/``values`` into ``slots`` at their own cursors.
+
+        ``slots`` is a 1-D array of distinct row indices; ``keys``/
+        ``values`` are ``(len(slots), seq, num_heads, head_dim)``.  Each
+        row's block lands at that row's cursor, and the cursors advance by
+        ``seq``.  Returns the cursors *before* the append (the absolute
+        offset of each row's new block) — the ragged attention path needs
+        them for its length-aware mask.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.ndim != 1 or slots.size == 0:
+            raise ValueError(f"slots must be a non-empty 1-D index array, "
+                             f"got shape {slots.shape}")
+        if np.unique(slots).size != slots.size:
+            raise ValueError("slots must be distinct")
+        expected = (slots.size, keys.shape[1]) + self.keys.shape[2:]
+        if keys.shape != expected or values.shape != expected:
+            raise ValueError(f"expected key/value shape {expected}, got "
+                             f"{keys.shape} / {values.shape}")
+        seq = keys.shape[1]
+        offsets = self._positions[slots].copy()
+        if np.any(offsets + seq > self.max_len):
+            worst = int(slots[int(np.argmax(offsets))])
+            raise ValueError(f"KV cache overflow on slot {worst}: "
+                             f"{int(offsets.max())} + {seq} exceeds max_len "
+                             f"{self.max_len}")
+        index = offsets[:, None] + np.arange(seq)
+        self.keys[slots[:, None], index] = keys
+        self.values[slots[:, None], index] = values
+        self._positions[slots] = offsets + seq
+        return offsets
 
 
 class MultiHeadAttention(Module):
@@ -188,4 +268,61 @@ class MultiHeadAttention(Module):
 
         context = scores @ v.transpose(0, 2, 1, 3)  # (b, h, seq, hd)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(Tensor(merged))
+
+    def forward_slots(self, x: Tensor, cache: KVCache,
+                      slots: np.ndarray) -> Tensor:
+        """Ragged attention for a subset of cache rows at per-slot cursors.
+
+        ``x`` is ``(len(slots), seq, dim)``: row ``i`` holds the next
+        ``seq`` positions of the request occupying cache slot
+        ``slots[i]``, starting at that slot's own cursor.  This is the
+        continuous-batching decode step (one token per active request,
+        cursors all different) and the batched prefill of a group of
+        newly admitted requests (cursors all zero).
+
+        Keys are gathered up to the longest row and a length-aware causal
+        mask hides both future positions and every column past a row's
+        cursor, so a slot never attends the previous occupant's stale
+        entries.  The mask's ``-1e9`` surrogate underflows ``exp`` to an
+        exact ``0.0``, and no masking is applied at all when every column
+        is valid — so with uniform cursors this computes bit for bit what
+        :meth:`forward_incremental` computes, the anchor for the
+        single-request equivalence gate in ``repro.serving.scheduler``.
+        Inference-only, like the rest of the cached path.
+        """
+        if is_grad_enabled():
+            raise RuntimeError("forward_slots is inference-only; "
+                               "wrap the decode loop in no_grad()")
+        rows, seq, _ = x.shape
+        heads, hd = self.num_heads, self.head_dim
+
+        q = self.q_proj(x).data.reshape(rows, seq, heads, hd)
+        k_new = self.k_proj(x).data.reshape(rows, seq, heads, hd)
+        v_new = self.v_proj(x).data.reshape(rows, seq, heads, hd)
+        offsets = cache.append_rows(slots, k_new, v_new)
+
+        total = int(offsets.max()) + seq
+        k = cache.keys[slots, :total]      # (rows, total, heads, hd) gather
+        v = cache.values[slots, :total]
+
+        scores = q.transpose(0, 2, 1, 3) @ k.transpose(0, 2, 3, 1)
+        scores *= 1.0 / np.sqrt(hd)
+        # Row i's query at block index j sits at absolute position
+        # offsets[i] + j; causal attention admits key columns <= that, and
+        # a non-causal layer still must stop at the row's filled length.
+        steps = (np.arange(seq) if self.causal
+                 else np.full(seq, seq - 1, dtype=np.int64))
+        limit = offsets[:, None] + steps[None, :]          # (rows, seq)
+        invalid = np.arange(total)[None, None, :] > limit[:, :, None]
+        if invalid.any():
+            scores = scores + \
+                np.where(invalid, -1e9, 0.0)[:, None, :, :]
+        # Raw stable softmax, same formula as functional.softmax.
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+
+        context = scores @ v.transpose(0, 2, 1, 3)  # (rows, h, seq, hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(rows, seq, self.dim)
         return self.o_proj(Tensor(merged))

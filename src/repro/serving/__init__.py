@@ -1,18 +1,24 @@
 """Offloaded MoE serving simulation (expert caching, decode latency)."""
 
-from .batching import (BatchedDecodeSimulator, BatchedServingMetrics,
-                       Request, RequestOutcome, poisson_workload)
+from .batching import (FINISH_REASONS, BatchedDecodeSimulator,
+                       BatchedServingMetrics, Request, RequestOutcome,
+                       poisson_workload)
 from .cache import POLICIES, CacheStats, ExpertCache, hot_expert_keys
 from .engine import (DECODE_MODES, DecodeSimulator, LiveDecodeEngine,
-                     ServingConfig, ServingMetrics)
+                     LiveEngineBase, ServingConfig, ServingMetrics,
+                     serving_flags)
 from .prefetch import (PrefetchingDecodeSimulator, PrefetchStats,
                        SpeculativePrefetcher)
+from .scheduler import (ADMISSION_POLICIES, ContinuousBatchingEngine,
+                        ContinuousServingMetrics, SlotPool)
 
 __all__ = [
     "ExpertCache", "CacheStats", "POLICIES", "hot_expert_keys",
-    "DecodeSimulator", "LiveDecodeEngine", "DECODE_MODES", "ServingConfig",
-    "ServingMetrics",
+    "DecodeSimulator", "LiveDecodeEngine", "LiveEngineBase",
+    "DECODE_MODES", "ServingConfig", "ServingMetrics", "serving_flags",
     "BatchedDecodeSimulator", "BatchedServingMetrics", "Request",
-    "RequestOutcome", "poisson_workload",
+    "RequestOutcome", "poisson_workload", "FINISH_REASONS",
+    "ContinuousBatchingEngine", "ContinuousServingMetrics", "SlotPool",
+    "ADMISSION_POLICIES",
     "SpeculativePrefetcher", "PrefetchingDecodeSimulator", "PrefetchStats",
 ]

@@ -14,57 +14,122 @@ This simulates that effect plus simple request queueing:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..models.config import MoEModelConfig
 from ..routing.synthetic import SyntheticRouter
+from ..telemetry.instruments import Histogram
 from .cache import ExpertCache
 from .engine import ServingConfig
 
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    The trace-level simulator below only needs the timing fields; the live
+    :class:`~repro.serving.scheduler.ContinuousBatchingEngine` additionally
+    decodes real tokens, so ``prompt_ids`` (a 1-D token-id array) carries
+    the prompt.  ``decode_tokens`` is the generation budget — the live
+    engine may finish earlier on EOS.  ``prompt_ids`` stays out of
+    equality/ordering so workload lists still compare by timing.
+    """
 
     request_id: int
     arrival_time: float
     decode_tokens: int
+    prompt_ids: Optional[np.ndarray] = field(default=None, compare=False,
+                                             repr=False)
 
     def __post_init__(self) -> None:
         if self.decode_tokens < 1:
             raise ValueError("decode_tokens must be positive")
+        if self.prompt_ids is not None:
+            ids = np.asarray(self.prompt_ids, dtype=np.int64)
+            if ids.ndim != 1 or ids.size < 1:
+                raise ValueError(f"prompt_ids must be a non-empty 1-D token "
+                                 f"array, got shape {ids.shape}")
+            object.__setattr__(self, "prompt_ids", ids)
+
+    @property
+    def prompt_len(self) -> int:
+        """Prompt length in tokens (0 when the request carries no prompt)."""
+        return 0 if self.prompt_ids is None else int(self.prompt_ids.size)
 
 
 def poisson_workload(num_requests: int, arrival_rate: float,
-                     mean_decode_tokens: int = 64,
-                     seed: int = 0) -> List[Request]:
-    """Sample a Poisson arrival stream with geometric decode lengths."""
+                     mean_decode_tokens: int = 64, seed: int = 0,
+                     rng: Optional[np.random.Generator] = None,
+                     prompt_len: Optional[Union[int, Tuple[int, int]]] = None,
+                     vocab_size: Optional[int] = None) -> List[Request]:
+    """Sample a Poisson arrival stream with geometric decode lengths.
+
+    Pass ``rng`` to draw from a caller-owned generator (``seed`` is then
+    ignored), e.g. to chain several workload phases off one stream.  With
+    ``prompt_len`` (an int, or an inclusive ``(lo, hi)`` range) and
+    ``vocab_size``, each request also gets uniform-random ``prompt_ids``
+    for the live continuous-batching engine.
+    """
     if num_requests < 1:
         raise ValueError("num_requests must be positive")
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
     if mean_decode_tokens < 1:
         raise ValueError("mean_decode_tokens must be positive")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate,
                                          size=num_requests))
     lengths = 1 + rng.geometric(1.0 / mean_decode_tokens, size=num_requests)
-    return [Request(i, float(arrivals[i]), int(lengths[i]))
+    prompts: List[Optional[np.ndarray]] = [None] * num_requests
+    if prompt_len is not None:
+        if vocab_size is None:
+            raise ValueError("vocab_size is required when prompt_len is set")
+        lo, hi = (prompt_len if isinstance(prompt_len, tuple)
+                  else (prompt_len, prompt_len))
+        if lo < 1 or hi < lo:
+            raise ValueError(f"prompt_len range must satisfy 1 <= lo <= hi, "
+                             f"got ({lo}, {hi})")
+        prompt_lens = rng.integers(lo, hi + 1, size=num_requests)
+        prompts = [rng.integers(0, vocab_size, size=int(n))
+                   for n in prompt_lens]
+    return [Request(i, float(arrivals[i]), int(lengths[i]),
+                    prompt_ids=prompts[i])
             for i in range(num_requests)]
+
+
+FINISH_REASONS = ("max_tokens", "eos")
 
 
 @dataclass
 class RequestOutcome:
-    """Timing of one completed request."""
+    """Timing (and, from the live engine, content) of one completed request.
+
+    The trace-level simulator fills only the timing fields; the live
+    :class:`~repro.serving.scheduler.ContinuousBatchingEngine` also records
+    the first-token time, the finish reason (``"eos"`` | ``"max_tokens"``),
+    the generated ids, and the per-token latency series.
+    """
+
     request_id: int
     arrival_time: float
     start_time: float
     finish_time: float
     decode_tokens: int
+    first_token_time: Optional[float] = None
+    finish_reason: str = "max_tokens"
+    token_ids: Optional[np.ndarray] = field(default=None, compare=False,
+                                            repr=False)
+    token_latencies: Optional[np.ndarray] = field(default=None,
+                                                  compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.finish_reason not in FINISH_REASONS:
+            raise ValueError(f"finish_reason must be one of "
+                             f"{FINISH_REASONS}, got {self.finish_reason!r}")
 
     @property
     def queueing_delay(self) -> float:
@@ -76,10 +141,22 @@ class RequestOutcome:
         """Arrival-to-finish time."""
         return self.finish_time - self.arrival_time
 
+    @property
+    def ttft(self) -> Optional[float]:
+        """Arrival-to-first-token time (``None`` from the simulator)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
 
 @dataclass
 class BatchedServingMetrics:
-    """Fleet-level outcome of a batched serving run."""
+    """Fleet-level outcome of a batched serving run.
+
+    Percentile math routes through :meth:`repro.telemetry.Histogram.
+    percentile` — one quantile implementation for the whole repo.
+    """
+
     outcomes: List[RequestOutcome]
     hit_rate: float
     total_steps: int
@@ -89,9 +166,21 @@ class BatchedServingMetrics:
         """Mean per-token latency in seconds."""
         return float(np.mean([o.latency for o in self.outcomes]))
 
+    def latency_percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of per-request latency in seconds."""
+        return Histogram.of(o.latency for o in self.outcomes).percentile(q)
+
+    def p50_latency(self) -> float:
+        """Median per-request latency in seconds."""
+        return self.latency_percentile(50)
+
+    def p95_latency(self) -> float:
+        """95th-percentile per-request latency in seconds."""
+        return self.latency_percentile(95)
+
     def p99_latency(self) -> float:
-        """99th-percentile per-token latency in seconds."""
-        return float(np.quantile([o.latency for o in self.outcomes], 0.99))
+        """99th-percentile per-request latency in seconds."""
+        return self.latency_percentile(99)
 
     def mean_queueing(self) -> float:
         """Mean queueing delay in seconds."""

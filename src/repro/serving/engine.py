@@ -13,6 +13,7 @@ a good policy approaches all-resident latency.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -89,9 +90,26 @@ class ServingMetrics:
         """Mean per-token latency in seconds."""
         return float(self.token_latencies.mean())
 
+    def latency_percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of per-token latency in seconds.
+
+        Routed through :meth:`repro.telemetry.Histogram.percentile` — one
+        quantile implementation for the whole repo.
+        """
+        from ..telemetry.instruments import Histogram
+        return Histogram.of(self.token_latencies).percentile(q)
+
+    def p50_latency(self) -> float:
+        """Median per-token latency in seconds."""
+        return self.latency_percentile(50)
+
+    def p95_latency(self) -> float:
+        """95th-percentile per-token latency in seconds."""
+        return self.latency_percentile(95)
+
     def p99_latency(self) -> float:
         """99th-percentile per-token latency in seconds."""
-        return float(np.quantile(self.token_latencies, 0.99))
+        return self.latency_percentile(99)
 
     def throughput_tokens_per_s(self) -> float:
         """Decoded tokens per wall-clock second."""
@@ -102,7 +120,68 @@ class ServingMetrics:
 DECODE_MODES = ("cached", "reference")
 
 
-class LiveDecodeEngine:
+@contextmanager
+def serving_flags(model: MoETransformer):
+    """Hot-loop model flags for a serving pass, restored on exit.
+
+    Switches the model to eval mode and turns full-probability record
+    copies off (routing records keep flowing) for the duration — the
+    shared prologue of :class:`LiveDecodeEngine` and the
+    continuous-batching engine in :mod:`repro.serving.scheduler`.
+    """
+    was_training = model.training
+    moe_blocks = model._moe_blocks()
+    previous_probs = [moe.record_probs for moe in moe_blocks]
+    model.eval()
+    model.set_record_probs(False)
+    try:
+        yield
+    finally:
+        model.train(was_training)
+        for moe, previous in zip(moe_blocks, previous_probs):
+            moe.record_probs = previous
+
+
+class LiveEngineBase:
+    """Shared setup of the live-model serving engines.
+
+    Validates and applies the dispatch mode, optionally round-trips the
+    expert weights through the int8 format, and binds/attaches a
+    :mod:`repro.parallel` executor — identical knob semantics for
+    :class:`LiveDecodeEngine` and :class:`~repro.serving.scheduler.
+    ContinuousBatchingEngine`.
+    """
+
+    def __init__(self, model: MoETransformer, dispatch: str = "fused",
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None,
+                 executor=None, weight_format: str = "native"):
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
+                             f"got {dispatch!r}")
+        if weight_format not in WEIGHT_FORMATS:
+            raise ValueError(f"weight_format must be one of "
+                             f"{WEIGHT_FORMATS}, got {weight_format!r}")
+        self.model = model
+        self.model.set_dispatch_mode(dispatch)
+        self.telemetry = telemetry
+        self.monitor = monitor
+        self.executor = executor
+        self.weight_format = weight_format
+        self.quantization_report = None
+        if weight_format == "int8":
+            # Round-trip the expert weights through the int8 format so every
+            # in-process path (single-token fast path, prefill) computes with
+            # exactly the values an int8 deployment reconstructs — outputs
+            # then match the executor's int8 shared-memory store bit for bit.
+            self.quantization_report = quantize_expert_weights(model)
+        if executor is not None:
+            if not executor.bound:
+                executor.bind(model, weight_format=weight_format)
+            model.set_expert_executor(executor)
+
+
+class LiveDecodeEngine(LiveEngineBase):
     """Greedy autoregressive decoding on a live (tiny) :class:`MoETransformer`.
 
     Decoding runs in two explicit phases, the standard serving split:
@@ -147,33 +226,13 @@ class LiveDecodeEngine:
                  telemetry: Optional[Telemetry] = None,
                  monitor: Optional[RoutingHealthMonitor] = None,
                  executor=None, weight_format: str = "native"):
-        if dispatch not in DISPATCH_MODES:
-            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
-                             f"got {dispatch!r}")
         if mode not in DECODE_MODES:
             raise ValueError(f"mode must be one of {DECODE_MODES}, "
                              f"got {mode!r}")
-        if weight_format not in WEIGHT_FORMATS:
-            raise ValueError(f"weight_format must be one of "
-                             f"{WEIGHT_FORMATS}, got {weight_format!r}")
-        self.model = model
-        self.model.set_dispatch_mode(dispatch)
+        super().__init__(model, dispatch=dispatch, telemetry=telemetry,
+                         monitor=monitor, executor=executor,
+                         weight_format=weight_format)
         self.mode = mode
-        self.telemetry = telemetry
-        self.monitor = monitor
-        self.executor = executor
-        self.weight_format = weight_format
-        self.quantization_report = None
-        if weight_format == "int8":
-            # Round-trip the expert weights through the int8 format so every
-            # in-process path (single-token fast path, prefill) computes with
-            # exactly the values an int8 deployment reconstructs — outputs
-            # then match the executor's int8 shared-memory store bit for bit.
-            self.quantization_report = quantize_expert_weights(model)
-        if executor is not None:
-            if not executor.bound:
-                executor.bind(model, weight_format=weight_format)
-            model.set_expert_executor(executor)
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int,
                mode: Optional[str] = None) -> np.ndarray:
@@ -200,11 +259,6 @@ class LiveDecodeEngine:
         if total_len > max_len:
             raise ValueError(f"prompt ({prompt_len}) + generation "
                              f"({num_tokens}) exceeds max_seq_len {max_len}")
-        was_training = self.model.training
-        moe_blocks = self.model._moe_blocks()
-        previous_probs = [moe.record_probs for moe in moe_blocks]
-        self.model.eval()
-        self.model.set_record_probs(False)
         # One ids buffer for the whole sequence, written in place — the
         # prompt up front, each generated token behind it (no per-token
         # concatenate-and-copy growth in either mode).
@@ -214,54 +268,49 @@ class LiveDecodeEngine:
         monitor = self.monitor
         num_experts = self.model.config.num_experts
         clock = telemetry.tracer.clock if telemetry is not None else None
-        try:
-            with no_grad():
-                mark = clock.now() if clock is not None else 0.0
+        with serving_flags(self.model), no_grad():
+            mark = clock.now() if clock is not None else 0.0
+            if mode == "cached":
+                caches = self.model.new_kv_caches(batch,
+                                                  max_len=total_len)
+                logits = self.model.forward_incremental(
+                    ids[:, :prompt_len], caches)
+            else:
+                logits = self.model(ids[:, :prompt_len])
+            ids[:, prompt_len] = np.argmax(logits.data[:, -1, :], axis=-1)
+            if telemetry is not None:
+                now = clock.now()
+                telemetry.record_span(
+                    "serve.prefill", mark, now - mark,
+                    category="prefill", track="decode", mode=mode,
+                    prompt_len=prompt_len)
+                telemetry.histogram(
+                    "serve.prefill_latency_s").observe(now - mark)
+                mark = now
+            if monitor is not None:
+                monitor.observe_records(self.model.routing_records(),
+                                        num_experts=num_experts)
+            for token in range(1, num_tokens):
+                position = prompt_len + token
                 if mode == "cached":
-                    caches = self.model.new_kv_caches(batch,
-                                                      max_len=total_len)
                     logits = self.model.forward_incremental(
-                        ids[:, :prompt_len], caches)
+                        ids[:, position - 1:position], caches)
                 else:
-                    logits = self.model(ids[:, :prompt_len])
-                ids[:, prompt_len] = np.argmax(logits.data[:, -1, :], axis=-1)
+                    logits = self.model(ids[:, :position])
+                ids[:, position] = np.argmax(logits.data[:, -1, :],
+                                             axis=-1)
                 if telemetry is not None:
                     now = clock.now()
                     telemetry.record_span(
-                        "serve.prefill", mark, now - mark,
-                        category="prefill", track="decode", mode=mode,
-                        prompt_len=prompt_len)
+                        "serve.decode_token", mark, now - mark,
+                        category="decode", track="decode", mode=mode,
+                        token=token)
                     telemetry.histogram(
-                        "serve.prefill_latency_s").observe(now - mark)
+                        "serve.token_latency_s").observe(now - mark)
                     mark = now
                 if monitor is not None:
                     monitor.observe_records(self.model.routing_records(),
                                             num_experts=num_experts)
-                for token in range(1, num_tokens):
-                    position = prompt_len + token
-                    if mode == "cached":
-                        logits = self.model.forward_incremental(
-                            ids[:, position - 1:position], caches)
-                    else:
-                        logits = self.model(ids[:, :position])
-                    ids[:, position] = np.argmax(logits.data[:, -1, :],
-                                                 axis=-1)
-                    if telemetry is not None:
-                        now = clock.now()
-                        telemetry.record_span(
-                            "serve.decode_token", mark, now - mark,
-                            category="decode", track="decode", mode=mode,
-                            token=token)
-                        telemetry.histogram(
-                            "serve.token_latency_s").observe(now - mark)
-                        mark = now
-                    if monitor is not None:
-                        monitor.observe_records(self.model.routing_records(),
-                                                num_experts=num_experts)
-        finally:
-            self.model.train(was_training)
-            for moe, previous in zip(moe_blocks, previous_probs):
-                moe.record_probs = previous
         return ids[:, prompt_len:]
 
 

@@ -1,0 +1,457 @@
+"""Continuous-batching live serving: slot-pool KV cache + admission loop.
+
+The :class:`~repro.serving.engine.LiveDecodeEngine` serves one request at a
+time; between requests the model idles while tokens queue up.  Production
+MoE serving (vLLM-style continuous batching) instead keeps a fixed pool of
+KV-cache *slots* and interleaves requests: newly arrived requests are
+admitted into free slots mid-flight, every engine iteration runs one
+batched decode step over all active slots, and a request that finishes
+(EOS or token budget) releases its slot to the next waiting request — no
+barrier at batch boundaries, no idle slots while work is queued.
+
+Three pieces live here:
+
+* :class:`SlotPool` — the free-list over cache rows, resetting a row's
+  per-slot cursors (:meth:`repro.nn.attention.KVCache.reset`) on acquire
+  so a re-issued slot can never leak the previous occupant's KV entries.
+* :class:`ContinuousBatchingEngine` — the admit → prefill → decode → evict
+  loop over ``MoETransformer.forward_slots`` (ragged per-slot attention).
+  Single-request output is greedy-bit-identical to
+  ``LiveDecodeEngine.decode(mode="cached")`` — the equivalence gate in
+  ``benchmarks/bench_serving_batch.py`` and ``tests/serving``.
+* :class:`ContinuousServingMetrics` — per-request latency / TTFT /
+  queueing percentiles (through :meth:`repro.telemetry.Histogram.
+  percentile`) and SLO-conditioned goodput.
+
+Time is a *virtual clock*: ``now`` advances by the measured wall time of
+each engine iteration, and fast-forwards across idle gaps to the next
+arrival instead of sleeping.  Queueing delay and TTFT are therefore
+honest — a request that arrives while the engine is busy waits for real
+compute — while a quiet stream doesn't stall the benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.transformer import MoETransformer
+from ..nn.attention import KVCache
+from ..nn.tensor import no_grad
+from ..telemetry import Telemetry
+from ..telemetry.events import EventLog, MonitorEvent
+from ..telemetry.instruments import Histogram
+from ..telemetry.monitor import RoutingHealthMonitor
+from .batching import Request, RequestOutcome
+from .engine import LiveEngineBase, serving_flags
+
+ADMISSION_POLICIES = ("fcfs", "shortest")
+
+
+class SlotPool:
+    """Free-list over the rows of a shared KV-cache set.
+
+    Slots are handed out lowest-index first (deterministic — tests and
+    event logs can predict placements) and a slot's per-layer cursors are
+    rewound on :meth:`acquire`, so the next occupant starts from position
+    zero and the length-aware mask in ``forward_slots`` can never see the
+    previous request's stale entries.
+    """
+
+    def __init__(self, caches: Sequence[KVCache], max_slots: int):
+        if max_slots < 1:
+            raise ValueError("max_slots must be positive")
+        if any(cache.batch != max_slots for cache in caches):
+            raise ValueError(f"every cache must have batch == max_slots "
+                             f"({max_slots})")
+        self.caches = list(caches)
+        self.max_slots = max_slots
+        self._free = list(range(max_slots))  # kept sorted, lowest first
+
+    @property
+    def free_count(self) -> int:
+        """Number of unoccupied slots."""
+        return len(self._free)
+
+    @property
+    def active_count(self) -> int:
+        """Number of occupied slots."""
+        return self.max_slots - len(self._free)
+
+    def acquire(self) -> int:
+        """Claim the lowest free slot (cursors rewound); raise when full."""
+        if not self._free:
+            raise RuntimeError("slot pool exhausted")
+        slot = self._free.pop(0)
+        for cache in self.caches:
+            cache.reset(slots=[slot])
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the pool."""
+        if not 0 <= slot < self.max_slots:
+            raise ValueError(f"slot {slot} out of range 0..{self.max_slots - 1}")
+        if slot in self._free:
+            raise ValueError(f"slot {slot} is already free")
+        self._free.append(slot)
+        self._free.sort()
+
+
+@dataclass
+class _RequestState:
+    """Book-keeping for one admitted request while it occupies a slot."""
+
+    request: Request
+    slot: int
+    start_time: float
+    first_token_time: Optional[float] = None
+    token_ids: List[int] = field(default_factory=list)
+    token_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        """Tokens of decode budget left."""
+        return self.request.decode_tokens - len(self.token_ids)
+
+    @property
+    def last_token(self) -> int:
+        """Most recently generated token id."""
+        return self.token_ids[-1]
+
+
+@dataclass
+class ContinuousServingMetrics:
+    """Fleet-level outcome of a continuous-batching run.
+
+    Percentile math routes through :meth:`repro.telemetry.Histogram.
+    percentile`; :meth:`goodput_tokens_per_s` counts only tokens from
+    requests that met the given SLOs, the serving-paper framing of
+    "throughput that users actually experienced as responsive".
+    """
+
+    outcomes: List[RequestOutcome]
+    wall_time: float
+    total_steps: int
+    max_slots: int
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens actually generated (EOS may cut budgets short)."""
+        return sum(o.decode_tokens for o in self.outcomes)
+
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per (virtual) wall-clock second."""
+        return self.total_tokens / self.wall_time if self.wall_time > 0 \
+            else 0.0
+
+    def request_latency_percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of arrival-to-finish latency."""
+        return Histogram.of(o.latency for o in self.outcomes).percentile(q)
+
+    def token_latency_percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of the pooled per-token latencies."""
+        pooled = [float(v) for o in self.outcomes
+                  if o.token_latencies is not None
+                  for v in o.token_latencies]
+        return Histogram.of(pooled).percentile(q)
+
+    def p50_latency(self) -> float:
+        """Median per-request latency in seconds."""
+        return self.request_latency_percentile(50)
+
+    def p95_latency(self) -> float:
+        """95th-percentile per-request latency in seconds."""
+        return self.request_latency_percentile(95)
+
+    def p99_latency(self) -> float:
+        """99th-percentile per-request latency in seconds."""
+        return self.request_latency_percentile(99)
+
+    def mean_queueing(self) -> float:
+        """Mean slot-wait (admission minus arrival) in seconds."""
+        return float(np.mean([o.queueing_delay for o in self.outcomes]))
+
+    def mean_ttft(self) -> float:
+        """Mean arrival-to-first-token time in seconds."""
+        return float(np.mean([o.ttft for o in self.outcomes]))
+
+    def goodput_tokens_per_s(self, slo_ttft_s: Optional[float] = None,
+                             slo_token_latency_s: Optional[float] = None
+                             ) -> float:
+        """Throughput counting only requests that met the SLOs.
+
+        A request qualifies when its TTFT is within ``slo_ttft_s`` (if
+        given) *and* its p95 per-token latency is within
+        ``slo_token_latency_s`` (if given).  With no SLOs this equals
+        :meth:`throughput_tokens_per_s`.
+        """
+        good = 0
+        for o in self.outcomes:
+            if slo_ttft_s is not None and (o.ttft is None
+                                           or o.ttft > slo_ttft_s):
+                continue
+            if slo_token_latency_s is not None:
+                if o.token_latencies is None or \
+                        Histogram.of(o.token_latencies).percentile(95) > \
+                        slo_token_latency_s:
+                    continue
+            good += o.decode_tokens
+        return good / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class ContinuousBatchingEngine(LiveEngineBase):
+    """Slot-pool continuous batching over a live :class:`MoETransformer`.
+
+    Each engine iteration: admit waiting requests into free slots
+    (``admission="fcfs"`` in arrival order, ``"shortest"`` smallest decode
+    budget first — a shortest-job heuristic that trades fairness for tail
+    latency), run one batched prefill per group of equal-length prompts
+    (equal lengths keep padded garbage tokens out of the routing records),
+    then one batched ragged decode step over every active slot through
+    ``MoETransformer.forward_slots``.  A request finishes on its decode
+    budget (``finish_reason="max_tokens"``) or on emitting
+    ``eos_token_id`` (``"eos"``, the EOS token included in the output);
+    its slot is released and re-acquired by the next waiting request on
+    the same iteration boundary.
+
+    Greedy decoding throughout; a single request in an otherwise idle
+    pool produces ids bit-identical to
+    ``LiveDecodeEngine.decode(mode="cached")`` — the uniform-cursor case
+    of ``forward_slots`` performs exactly ``forward_incremental``'s
+    arithmetic.
+
+    Knobs shared with :class:`~repro.serving.engine.LiveDecodeEngine`
+    through :class:`~repro.serving.engine.LiveEngineBase`: ``dispatch``
+    (fused | reference MoE dispatch), ``weight_format`` (native | int8),
+    ``executor`` (a :mod:`repro.parallel` process-pool executor),
+    ``telemetry``/``monitor``.  Additional here: ``max_slots`` (KV pool
+    size = max concurrent requests), ``admission``, ``eos_token_id``,
+    ``max_len`` (per-slot cache length, default the model's
+    ``max_seq_len``), and ``events`` (a :class:`~repro.telemetry.events.
+    EventLog` receiving ``request_admit`` / ``request_evict`` events).
+
+    With ``telemetry=``, the run feeds ``serve.queueing_s``,
+    ``serve.ttft_s``, ``serve.token_latency_s`` and
+    ``serve.request_latency_s`` histograms plus ``serve.queue_depth`` and
+    ``serve.active_slots`` gauges — scrapeable live through the
+    Prometheus exporter while a long run is in flight.
+    """
+
+    def __init__(self, model: MoETransformer, max_slots: int = 8,
+                 dispatch: str = "fused",
+                 telemetry: Optional[Telemetry] = None,
+                 monitor: Optional[RoutingHealthMonitor] = None,
+                 events: Optional[EventLog] = None,
+                 executor=None, weight_format: str = "native",
+                 eos_token_id: Optional[int] = None,
+                 admission: str = "fcfs",
+                 max_len: Optional[int] = None):
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(f"admission must be one of "
+                             f"{ADMISSION_POLICIES}, got {admission!r}")
+        super().__init__(model, dispatch=dispatch, telemetry=telemetry,
+                         monitor=monitor, executor=executor,
+                         weight_format=weight_format)
+        self.max_slots = int(max_slots)
+        self.events = events
+        self.eos_token_id = eos_token_id
+        self.admission = admission
+        self.max_len = model.config.max_seq_len if max_len is None \
+            else int(max_len)
+        self.caches = model.new_kv_caches(self.max_slots,
+                                          max_len=self.max_len)
+        self.pool = SlotPool(self.caches, self.max_slots)
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _pop_next(self, queue: List[Request]) -> Request:
+        """Remove and return the next request per the admission policy."""
+        if self.admission == "fcfs":
+            return queue.pop(0)
+        # shortest: smallest decode budget, arrival order breaking ties
+        best = min(range(len(queue)),
+                   key=lambda i: (queue[i].decode_tokens, i))
+        return queue.pop(best)
+
+    def _emit(self, kind: str, now: float, **labels) -> None:
+        if self.events is not None:
+            self.events.emit(MonitorEvent(kind=kind, time_unix=now,
+                                          labels=labels))
+
+    # ------------------------------------------------------------------ #
+    # serve loop
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Sequence[Request]) -> ContinuousServingMetrics:
+        """Serve ``requests`` to completion; returns fleet metrics.
+
+        Every request must carry ``prompt_ids`` and fit the slot length:
+        ``prompt_len + decode_tokens <= max_len``.  Requests are consumed
+        in arrival-time order from an open-loop stream — arrivals are
+        never delayed by the engine, only admissions are.
+        """
+        if not requests:
+            raise ValueError("need at least one request")
+        for request in requests:
+            if request.prompt_ids is None:
+                raise ValueError(f"request {request.request_id} has no "
+                                 f"prompt_ids; the live engine decodes "
+                                 f"real tokens")
+            total = request.prompt_len + request.decode_tokens
+            if total > self.max_len:
+                raise ValueError(
+                    f"request {request.request_id}: prompt "
+                    f"({request.prompt_len}) + decode budget "
+                    f"({request.decode_tokens}) exceeds slot max_len "
+                    f"{self.max_len}")
+
+        pending = sorted(requests, key=lambda r: (r.arrival_time,
+                                                  r.request_id))
+        queue: List[Request] = []
+        active: Dict[int, _RequestState] = {}  # slot -> state
+        outcomes: List[RequestOutcome] = []
+        now = 0.0
+        steps = 0
+
+        telemetry = self.telemetry
+        monitor = self.monitor
+        num_experts = self.model.config.num_experts
+
+        def observe_routing() -> None:
+            if monitor is not None:
+                monitor.observe_records(self.model.routing_records(),
+                                        num_experts=num_experts)
+
+        def set_gauges() -> None:
+            if telemetry is not None:
+                telemetry.gauge("serve.queue_depth").set(len(queue))
+                telemetry.gauge("serve.active_slots").set(len(active))
+
+        def finish(state: _RequestState, reason: str) -> None:
+            self.pool.release(state.slot)
+            request = state.request
+            outcome = RequestOutcome(
+                request_id=request.request_id,
+                arrival_time=request.arrival_time,
+                start_time=state.start_time,
+                finish_time=now,
+                decode_tokens=len(state.token_ids),
+                first_token_time=state.first_token_time,
+                finish_reason=reason,
+                token_ids=np.asarray(state.token_ids, dtype=np.int64),
+                token_latencies=np.asarray(state.token_latencies))
+            outcomes.append(outcome)
+            if telemetry is not None:
+                telemetry.histogram("serve.request_latency_s").observe(
+                    outcome.latency)
+            self._emit("request_evict", now, request_id=request.request_id,
+                       slot=state.slot, finish_reason=reason,
+                       tokens=len(state.token_ids),
+                       queue_depth=len(queue))
+
+        with serving_flags(self.model), no_grad():
+            while pending or queue or active:
+                # -- arrivals up to the current virtual time ------------- #
+                while pending and pending[0].arrival_time <= now:
+                    queue.append(pending.pop(0))
+                if not queue and not active:
+                    now = pending[0].arrival_time  # idle: fast-forward
+                    continue
+
+                # -- admit into free slots ------------------------------- #
+                admitted: List[_RequestState] = []
+                while queue and self.pool.free_count > 0:
+                    request = self._pop_next(queue)
+                    slot = self.pool.acquire()
+                    state = _RequestState(request=request, slot=slot,
+                                          start_time=now)
+                    active[slot] = state
+                    admitted.append(state)
+                    if telemetry is not None:
+                        telemetry.histogram("serve.queueing_s").observe(
+                            now - request.arrival_time)
+                    self._emit("request_admit", now,
+                               request_id=request.request_id, slot=slot,
+                               queue_depth=len(queue))
+                set_gauges()
+
+                # -- batched prefill, grouped by prompt length ----------- #
+                # Equal lengths per forward_slots call: no padding, so no
+                # garbage tokens pollute the routing records feeding the
+                # locality profiler and the health monitor.
+                by_len: Dict[int, List[_RequestState]] = {}
+                for state in admitted:
+                    by_len.setdefault(state.request.prompt_len,
+                                      []).append(state)
+                for length in sorted(by_len):
+                    group = by_len[length]
+                    prompts = np.stack([s.request.prompt_ids
+                                        for s in group])
+                    slots = np.asarray([s.slot for s in group],
+                                       dtype=np.int64)
+                    t0 = time.perf_counter()
+                    logits = self.model.forward_slots(prompts, self.caches,
+                                                      slots)
+                    elapsed = time.perf_counter() - t0
+                    now += elapsed
+                    first = np.argmax(logits.data[:, -1, :], axis=-1)
+                    for state, token in zip(group, first):
+                        state.token_ids.append(int(token))
+                        state.token_latencies.append(elapsed)
+                        state.first_token_time = now
+                        if telemetry is not None:
+                            telemetry.histogram("serve.ttft_s").observe(
+                                now - state.request.arrival_time)
+                            telemetry.histogram(
+                                "serve.token_latency_s").observe(elapsed)
+                    observe_routing()
+
+                # prefill may already satisfy a request (EOS on the first
+                # token, or a 1-token budget)
+                for state in admitted:
+                    if self.eos_token_id is not None and \
+                            state.last_token == self.eos_token_id:
+                        del active[state.slot]
+                        finish(state, "eos")
+                    elif state.remaining == 0:
+                        del active[state.slot]
+                        finish(state, "max_tokens")
+
+                # -- one batched ragged decode step ---------------------- #
+                deciding = [active[slot] for slot in sorted(active)]
+                if deciding:
+                    tokens = np.asarray([[s.last_token] for s in deciding],
+                                        dtype=np.int64)
+                    slots = np.asarray([s.slot for s in deciding],
+                                       dtype=np.int64)
+                    t0 = time.perf_counter()
+                    logits = self.model.forward_slots(tokens, self.caches,
+                                                      slots)
+                    elapsed = time.perf_counter() - t0
+                    now += elapsed
+                    steps += 1
+                    next_tokens = np.argmax(logits.data[:, -1, :], axis=-1)
+                    for state, token in zip(deciding, next_tokens):
+                        state.token_ids.append(int(token))
+                        state.token_latencies.append(elapsed)
+                        if telemetry is not None:
+                            telemetry.histogram(
+                                "serve.token_latency_s").observe(elapsed)
+                    observe_routing()
+                    for state in deciding:
+                        if self.eos_token_id is not None and \
+                                state.last_token == self.eos_token_id:
+                            del active[state.slot]
+                            finish(state, "eos")
+                        elif state.remaining == 0:
+                            del active[state.slot]
+                            finish(state, "max_tokens")
+                set_gauges()
+
+        outcomes.sort(key=lambda o: o.request_id)
+        return ContinuousServingMetrics(outcomes=outcomes, wall_time=now,
+                                        total_steps=steps,
+                                        max_slots=self.max_slots)

@@ -11,7 +11,7 @@ dependencies.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, Any], ...]
 
@@ -82,6 +82,19 @@ class Histogram(Instrument):
     def __init__(self, name: str, labels: Dict[str, Any]):
         super().__init__(name, labels)
         self.values: List[float] = []
+
+    @classmethod
+    def of(cls, values, name: str = "adhoc",
+           labels: Optional[Dict[str, Any]] = None) -> "Histogram":
+        """Standalone histogram over existing observations.
+
+        The serving metrics classes route their percentile math through
+        this (one quantile implementation for the whole repo) without
+        needing a registry.
+        """
+        hist = cls(name, labels or {})
+        hist.values = [float(v) for v in values]
+        return hist
 
     def observe(self, value: float) -> None:
         """Record one observation."""

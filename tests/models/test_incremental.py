@@ -47,7 +47,7 @@ class TestForwardIncremental:
                 nano_model.forward_incremental(
                     ids, nano_model.new_kv_caches(1)[:-1])
             caches = nano_model.new_kv_caches(1)
-            caches[0].position = 1  # desynchronized cursor
+            caches[0]._positions[:] = 1  # desynchronized cursor
             with pytest.raises(ValueError):
                 nano_model.forward_incremental(ids, caches)
 
@@ -134,6 +134,62 @@ class TestSingleTokenDispatchFastPath:
             after = block(x).data  # generic dispatch handles LoRA modules
         # Fresh LoRA B matrices are zero, so outputs are unchanged.
         np.testing.assert_allclose(after, before, atol=1e-12)
+
+
+class TestForwardSlots:
+    """Model-level ragged decoding over a shared slot pool."""
+
+    def test_uniform_slots_match_forward_incremental_bitwise(self,
+                                                             nano_model):
+        ids = np.random.default_rng(5).integers(0, 64, size=(2, 7))
+        with no_grad():
+            caches = nano_model.new_kv_caches(2, max_len=16)
+            ref = nano_model.forward_incremental(ids, caches).data
+            pool = nano_model.new_kv_caches(4, max_len=16)
+            got = nano_model.forward_slots(ids, pool,
+                                           np.array([0, 2])).data
+        np.testing.assert_array_equal(got, ref)
+        for cache in pool:
+            np.testing.assert_array_equal(cache.positions, [7, 0, 7, 0])
+
+    def test_ragged_decode_matches_independent_streams(self, nano_model):
+        """Two requests at different depths advance together as they
+        would alone (to fp tolerance: batching the decode step changes
+        GEMM shapes in the MoE dispatch, so last-bit rounding may differ;
+        greedy argmax ids are identical — asserted engine-level in
+        tests/serving/test_scheduler.py)."""
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 64, size=(1, 9))
+        b = rng.integers(0, 64, size=(1, 4))
+        step = rng.integers(0, 64, size=(2, 1))
+        with no_grad():
+            refs = []
+            for prompt, row in ((a, 0), (b, 1)):
+                caches = nano_model.new_kv_caches(1, max_len=16)
+                nano_model.forward_incremental(prompt, caches)
+                refs.append(nano_model.forward_incremental(
+                    step[row:row + 1], caches).data)
+            pool = nano_model.new_kv_caches(2, max_len=16)
+            nano_model.forward_slots(a, pool, np.array([0]))
+            nano_model.forward_slots(b, pool, np.array([1]))
+            got = nano_model.forward_slots(step, pool,
+                                           np.array([0, 1])).data
+        np.testing.assert_allclose(got[0:1], refs[0], atol=1e-12)
+        np.testing.assert_allclose(got[1:2], refs[1], atol=1e-12)
+
+    def test_validation(self, nano_model):
+        pool = nano_model.new_kv_caches(2, max_len=8)
+        ids = np.array([[1, 2]])
+        with pytest.raises(RuntimeError):
+            nano_model.forward_slots(ids, pool, np.array([0]))
+        with no_grad():
+            with pytest.raises(ValueError):      # one slot per row
+                nano_model.forward_slots(ids, pool, np.array([0, 1]))
+            with pytest.raises(ValueError):      # cache count
+                nano_model.forward_slots(ids, pool[:-1], np.array([0]))
+            pool[0]._positions[0] = 3            # layer desync on slot 0
+            with pytest.raises(ValueError):
+                nano_model.forward_slots(ids, pool, np.array([0]))
 
 
 class TestIncrementalDeterminism:

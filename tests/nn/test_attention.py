@@ -112,6 +112,68 @@ class TestKVCache:
             KVCache(batch=1, max_len=0, num_heads=2, head_dim=2)
 
 
+class TestKVCachePerSlot:
+    def test_append_rows_writes_at_per_slot_cursors(self):
+        cache = KVCache(batch=3, max_len=8, num_heads=2, head_dim=2)
+        cache.append_rows([0, 2], np.ones((2, 3, 2, 2)),
+                          np.ones((2, 3, 2, 2)))
+        offsets = cache.append_rows([2], 2 * np.ones((1, 2, 2, 2)),
+                                    2 * np.ones((1, 2, 2, 2)))
+        np.testing.assert_array_equal(offsets, [3])  # cursor before append
+        np.testing.assert_array_equal(cache.positions, [3, 0, 5])
+        np.testing.assert_array_equal(cache.keys[2, :3], 1.0)
+        np.testing.assert_array_equal(cache.keys[2, 3:5], 2.0)
+        np.testing.assert_array_equal(cache.keys[1], 0.0)
+
+    def test_ragged_position_property_raises(self):
+        cache = KVCache(batch=2, max_len=4, num_heads=2, head_dim=2)
+        cache.append_rows([0], np.zeros((1, 2, 2, 2)),
+                          np.zeros((1, 2, 2, 2)))
+        with pytest.raises(ValueError):
+            cache.position
+        np.testing.assert_array_equal(cache.positions, [2, 0])
+
+    def test_positions_view_is_read_only(self):
+        cache = KVCache(batch=2, max_len=4, num_heads=2, head_dim=2)
+        with pytest.raises(ValueError):
+            cache.positions[0] = 3
+
+    def test_reset_slots_rewinds_subset(self):
+        cache = KVCache(batch=3, max_len=4, num_heads=2, head_dim=2)
+        cache.append(np.zeros((3, 3, 2, 2)), np.zeros((3, 3, 2, 2)))
+        cache.reset(slots=[1])
+        np.testing.assert_array_equal(cache.positions, [3, 0, 3])
+
+    def test_append_rows_validation(self):
+        cache = KVCache(batch=3, max_len=4, num_heads=2, head_dim=2)
+        block = np.zeros((2, 1, 2, 2))
+        with pytest.raises(ValueError):
+            cache.append_rows([0, 0], block, block)      # duplicate slots
+        with pytest.raises(ValueError):
+            cache.append_rows([], np.zeros((0, 1, 2, 2)),
+                              np.zeros((0, 1, 2, 2)))    # empty
+        with pytest.raises(ValueError):
+            cache.append_rows([0], block, block)         # shape mismatch
+        cache.append_rows([1], np.zeros((1, 4, 2, 2)),
+                          np.zeros((1, 4, 2, 2)))
+        with pytest.raises(ValueError):                  # per-slot overflow
+            cache.append_rows([1], np.zeros((1, 1, 2, 2)),
+                              np.zeros((1, 1, 2, 2)))
+
+    def test_append_rows_uniform_matches_append(self):
+        """Per-slot writes with uniform cursors land where append lands."""
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(2, 3, 2, 2))
+        values = rng.normal(size=(2, 3, 2, 2))
+        a = KVCache(batch=2, max_len=6, num_heads=2, head_dim=2)
+        b = KVCache(batch=2, max_len=6, num_heads=2, head_dim=2)
+        a.append(keys, values)
+        b.append_rows([0, 1], keys, values)
+        np.testing.assert_array_equal(a.keys, b.keys)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
 class TestIncrementalAttention:
     def _attn(self, seed=7, causal=True):
         return MultiHeadAttention(8, 2, causal=causal,
@@ -157,3 +219,87 @@ class TestIncrementalAttention:
         cache = KVCache(batch=1, max_len=4, num_heads=2, head_dim=4)
         with pytest.raises(RuntimeError):
             attn.forward_incremental(Tensor(np.zeros((1, 1, 8))), cache)
+
+
+class TestSlotAttention:
+    def _attn(self, seed=7, causal=True):
+        return MultiHeadAttention(8, 2, causal=causal,
+                                  rng=np.random.default_rng(seed))
+
+    def test_uniform_slots_match_incremental_bitwise(self):
+        """With uniform cursors (a fresh prefill) forward_slots must equal
+        forward_incremental bit for bit — the continuous-batching engine's
+        single-request equivalence anchor."""
+        attn = self._attn()
+        x = np.random.default_rng(3).normal(size=(2, 6, 8))
+        with no_grad():
+            ref_cache = KVCache(batch=2, max_len=8, num_heads=2, head_dim=4)
+            ref = attn.forward_incremental(Tensor(x), ref_cache).data
+            pool = KVCache(batch=4, max_len=8, num_heads=2, head_dim=4)
+            got = attn.forward_slots(Tensor(x), pool,
+                                     np.array([1, 3])).data
+        np.testing.assert_array_equal(got, ref)
+        np.testing.assert_array_equal(pool.positions, [0, 6, 0, 6])
+
+    def test_ragged_rows_match_independent_decodes(self):
+        """Two slots at different fill depths decode together exactly as
+        they would alone (masking hides columns past each row's cursor)."""
+        attn = self._attn()
+        rng = np.random.default_rng(9)
+        seq_a = rng.normal(size=(1, 5, 8))
+        seq_b = rng.normal(size=(1, 3, 8))
+        step = rng.normal(size=(2, 1, 8))
+        with no_grad():
+            # independent baselines
+            refs = []
+            for seq, row in ((seq_a, 0), (seq_b, 1)):
+                cache = KVCache(batch=1, max_len=8, num_heads=2, head_dim=4)
+                attn.forward_incremental(Tensor(seq), cache)
+                refs.append(attn.forward_incremental(
+                    Tensor(step[row:row + 1]), cache).data)
+            # shared pool, ragged step
+            pool = KVCache(batch=2, max_len=8, num_heads=2, head_dim=4)
+            attn.forward_slots(Tensor(seq_a), pool, np.array([0]))
+            attn.forward_slots(Tensor(seq_b), pool, np.array([1]))
+            got = attn.forward_slots(Tensor(step), pool,
+                                     np.array([0, 1])).data
+        np.testing.assert_array_equal(got[0:1], refs[0])
+        np.testing.assert_array_equal(got[1:2], refs[1])
+
+    def test_stale_entries_do_not_leak_after_reset(self):
+        """A re-issued slot (cursor rewound, buffer still dirty) attends
+        only its own new entries."""
+        attn = self._attn()
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(1, 4, 8))
+        with no_grad():
+            clean = KVCache(batch=1, max_len=6, num_heads=2, head_dim=4)
+            ref = attn.forward_slots(Tensor(x), clean, np.array([0])).data
+            dirty = KVCache(batch=1, max_len=6, num_heads=2, head_dim=4)
+            attn.forward_slots(Tensor(100 + rng.normal(size=(1, 6, 8))),
+                               dirty, np.array([0]))
+            dirty.reset(slots=[0])
+            got = attn.forward_slots(Tensor(x), dirty, np.array([0])).data
+        np.testing.assert_array_equal(got, ref)
+
+    def test_non_causal_rows_stop_at_fill_length(self):
+        """A non-causal layer still must not attend past a row's cursor."""
+        attn = self._attn(causal=False)
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(1, 3, 8))
+        with no_grad():
+            solo = KVCache(batch=1, max_len=8, num_heads=2, head_dim=4)
+            ref = attn.forward_slots(Tensor(x), solo, np.array([0])).data
+            pool = KVCache(batch=2, max_len=8, num_heads=2, head_dim=4)
+            # slot 1 is deeper, forcing a gather wider than slot 0's fill
+            attn.forward_slots(Tensor(rng.normal(size=(1, 7, 8))), pool,
+                               np.array([1]))
+            got = attn.forward_slots(Tensor(x), pool, np.array([0])).data
+        np.testing.assert_allclose(got, ref, atol=1e-12)
+
+    def test_requires_no_grad(self):
+        attn = self._attn()
+        cache = KVCache(batch=1, max_len=4, num_heads=2, head_dim=4)
+        with pytest.raises(RuntimeError):
+            attn.forward_slots(Tensor(np.zeros((1, 1, 8))), cache,
+                               np.array([0]))

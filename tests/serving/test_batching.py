@@ -37,6 +37,44 @@ class TestWorkload:
         with pytest.raises(ValueError):
             Request(0, 0.0, decode_tokens=0)
 
+    def test_caller_owned_rng_overrides_seed(self):
+        rng = np.random.default_rng(9)
+        a = poisson_workload(6, 1.0, rng=rng, seed=123)
+        b = poisson_workload(6, 1.0, rng=np.random.default_rng(9), seed=456)
+        assert a == b                       # seed ignored when rng given
+        c = poisson_workload(6, 1.0, rng=rng)  # stream advanced by a
+        assert a != c
+
+    def test_prompt_ids_generation(self):
+        requests = poisson_workload(8, 2.0, seed=4, prompt_len=(3, 7),
+                                    vocab_size=32)
+        for request in requests:
+            assert 3 <= request.prompt_len <= 7
+            assert request.prompt_ids.dtype == np.int64
+            assert request.prompt_ids.min() >= 0
+            assert request.prompt_ids.max() < 32
+        fixed = poisson_workload(4, 2.0, seed=4, prompt_len=5,
+                                 vocab_size=32)
+        assert all(r.prompt_len == 5 for r in fixed)
+
+    def test_prompt_knob_validation(self):
+        with pytest.raises(ValueError):
+            poisson_workload(4, 1.0, prompt_len=5)  # vocab_size required
+        with pytest.raises(ValueError):
+            poisson_workload(4, 1.0, prompt_len=(4, 2), vocab_size=32)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 4, prompt_ids=np.zeros((2, 2), dtype=np.int64))
+        assert Request(0, 0.0, 4).prompt_len == 0
+        assert Request(0, 0.0, 4, prompt_ids=[1, 2, 3]).prompt_len == 3
+
+    def test_outcome_finish_reason_validated(self):
+        from repro.serving import FINISH_REASONS, RequestOutcome
+        assert FINISH_REASONS == ("max_tokens", "eos")
+        with pytest.raises(ValueError):
+            RequestOutcome(0, 0.0, 0.0, 1.0, 4, finish_reason="oom")
+        outcome = RequestOutcome(0, 0.0, 0.0, 1.0, 4)
+        assert outcome.ttft is None         # simulator leaves it unset
+
 
 class TestBatchedSimulator:
     def test_all_requests_complete(self):

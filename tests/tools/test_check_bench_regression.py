@@ -53,6 +53,16 @@ def parallel_payload(speedup_ok=True, equiv_native=0.0, equiv_int8=0.0):
     }
 
 
+def serving_batch_payload(ratio=4.0, single=True, per_request=True):
+    return {
+        "headline": {
+            "throughput_ratio": ratio,
+            "single_request_identical": single,
+            "per_request_identical": per_request,
+        },
+    }
+
+
 class TestLookup:
     def test_nested_path(self):
         assert cbr.lookup({"a": {"b": 3}}, "a.b") == 3
@@ -123,6 +133,22 @@ class TestCompare:
         failed = [f.path for f in findings if not f.ok]
         assert failed == ["headline.speedup_ok"]
 
+    def test_serving_batch_identity_is_a_hard_gate(self):
+        findings = cbr.compare("serving_batch", serving_batch_payload(),
+                               serving_batch_payload())
+        assert all(f.ok for f in findings)
+        findings = cbr.compare("serving_batch",
+                               serving_batch_payload(per_request=False),
+                               serving_batch_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.per_request_identical"]
+        # throughput gets the jitter band; identity does not
+        findings = cbr.compare("serving_batch",
+                               serving_batch_payload(ratio=2.5),
+                               serving_batch_payload(ratio=4.0),
+                               tolerance=0.5)
+        assert all(f.ok for f in findings)
+
     def test_missing_field_reported_not_raised(self):
         findings = cbr.compare("serving", {"headline": {}},
                                serving_payload())
@@ -183,7 +209,8 @@ class TestMain:
         repo = _TOOLS.parent
         for kind, name in (("replay", "BENCH_replay.json"),
                            ("serving", "BENCH_serving.json"),
-                           ("parallel", "BENCH_parallel.json")):
+                           ("parallel", "BENCH_parallel.json"),
+                           ("serving_batch", "BENCH_serving_batch.json")):
             baseline = str(repo / name)
             code = cbr.main(["--kind", kind, "--fresh", baseline,
                              "--baseline", baseline])

@@ -136,6 +136,15 @@ CHECKS = {
         Check("headline.equiv_int8_max", "limit",
               baseline_path="headline.int8_tolerance"),
     ),
+    # Continuous batching: the throughput ratio (batched vs sequential
+    # single-stream) carries the perf band; both bit-identity gates are
+    # hard — the slot-pool runtime diverging from LiveDecodeEngine is a
+    # correctness bug, never jitter.
+    "serving_batch": (
+        Check("headline.throughput_ratio", "higher"),
+        Check("headline.single_request_identical", "exact"),
+        Check("headline.per_request_identical", "exact"),
+    ),
 }
 
 
