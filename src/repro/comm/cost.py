@@ -64,6 +64,29 @@ class CommCostModel:
         return passes * total
 
     # ------------------------------------------------------------------ #
+    # migration pricing (online re-placement)
+    # ------------------------------------------------------------------ #
+    def migration_time(self, incoming_bytes: np.ndarray) -> float:
+        """Seconds to land per-worker migration payloads.
+
+        ``incoming_bytes[n]`` is what worker ``n`` must receive (e.g.
+        :meth:`repro.placement.replan.MigrationPlan.bytes_per_worker`).
+        The master holds the checkpoint, each worker's transfer is
+        serialized on its own master link, and workers receive in
+        parallel — so the wall time is the slowest link's transfer time.
+        """
+        incoming = np.asarray(incoming_bytes, dtype=np.float64)
+        if np.any(incoming < 0):
+            raise ValueError("incoming_bytes must be non-negative")
+        worst = 0.0
+        for worker in range(min(len(incoming), self.topology.num_workers)):
+            if incoming[worker] <= 0:
+                continue
+            link = self.topology.master_link(worker)
+            worst = max(worst, link.transfer_time(float(incoming[worker])))
+        return worst
+
+    # ------------------------------------------------------------------ #
     # byte accounting (Fig. 5's external traffic)
     # ------------------------------------------------------------------ #
     def step_bytes_per_worker(self, tokens_matrix: np.ndarray,

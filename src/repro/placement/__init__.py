@@ -6,12 +6,17 @@ from .greedy import GreedyPlacement
 from .hierarchical import HierarchicalPlacement
 from .local_search import (LocalSearchRefiner, RefinedLocalityPlacement,
                            RefinementReport)
-from .lp import PlacementLP, build_placement_lp, comm_coefficients, solve_lp_scipy
+from .lp import (PlacementLP, build_placement_lp, comm_coefficients,
+                 problem_from_window, solve_lp_scipy)
 from .milp import ExactMILPPlacement
 from .objective import (expected_cross_node_bytes, expected_step_comm_time,
                         expected_worker_times, relaxed_objective)
 from .io import load_placement, save_placement
 from .random_ import RandomPlacement
+from .replan import (BreakEvenReport, ExpertMove, MigrationPlan,
+                     RESOLVE_MODES, ReplacementController, ReplanConfig,
+                     ReplanDecision, RoutingWindow, TRIGGER_POLICIES,
+                     plan_migration)
 from .replication import (ReplicatedPlacement, ReplicationReport,
                           ReplicationStrategy,
                           expected_step_comm_time_replicated)
@@ -35,4 +40,7 @@ __all__ = [
     "save_placement", "load_placement",
     "ReplicatedPlacement", "ReplicationStrategy", "ReplicationReport",
     "expected_step_comm_time_replicated",
+    "problem_from_window", "RoutingWindow", "ExpertMove", "MigrationPlan",
+    "plan_migration", "BreakEvenReport", "ReplanConfig", "ReplanDecision",
+    "ReplacementController", "TRIGGER_POLICIES", "RESOLVE_MODES",
 ]

@@ -14,24 +14,31 @@ O(N*L*E) precomputation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .base import Placement, PlacementProblem, PlacementStrategy
-from .lp import comm_coefficients
+from .lp import comm_coefficients, problem_from_window
 from .vela import LocalityAwarePlacement
 
 
 @dataclass
 class RefinementReport:
-    """Summary of a refinement pass: objective before/after, actions taken."""
+    """Summary of a refinement pass: objective before/after, actions taken.
+
+    ``actions`` is the applied sequence in order — ``("move", layer,
+    expert, src, dst)`` and ``("swap", layer, expert, src, expert2,
+    dst)`` tuples — so a caller can replay any prefix of the climb
+    (online re-placement truncates it at the profit-maximizing prefix).
+    """
     placement: Placement
     initial_objective: float
     refined_objective: float
     moves_applied: int
     swaps_applied: int
+    actions: List[Tuple] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -207,11 +214,16 @@ class LocalSearchRefiner:
                   else self._best_action_reference)
         initial = float(worker_time.max(axis=0).sum())
         moves = swaps = 0
+        actions: List[Tuple] = []
         for _ in range(self.max_rounds):
             best_delta, best_action = search(assignment, worker_time, loads,
                                              caps, coef)
             if best_action is None or best_delta <= 1e-15:
                 break
+            # plain-int tuples: replayable, JSON-friendly, clean reprs
+            best_action = (best_action[0],
+                           *(int(x) for x in best_action[1:]))
+            actions.append(best_action)
             if best_action[0] == "move":
                 _, l, e, src, dst = best_action
                 assignment[l, e] = dst
@@ -234,7 +246,21 @@ class LocalSearchRefiner:
                                 capacities=problem.effective_capacities(),
                                 name=f"{placement.name}+ls"),
             initial_objective=initial, refined_objective=refined,
-            moves_applied=moves, swaps_applied=swaps)
+            moves_applied=moves, swaps_applied=swaps, actions=actions)
+
+    def refine_from_window(self, placement: Placement, config, topology,
+                           window, **problem_kwargs) -> RefinementReport:
+        """Refine against a recent routing window instead of a profile.
+
+        The online re-placement entry point: ``window`` is anything
+        :func:`~repro.placement.lp.problem_from_window` accepts (a
+        :class:`~repro.placement.replan.RoutingWindow`, a trace, or a raw
+        count array); keyword arguments (``tokens_per_step``,
+        ``capacities``, ...) pass through to the problem.
+        """
+        problem = problem_from_window(config, topology, window,
+                                      **problem_kwargs)
+        return self.refine(placement, problem)
 
 
 class RefinedLocalityPlacement(PlacementStrategy):

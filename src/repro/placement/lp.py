@@ -76,6 +76,47 @@ class PlacementLP:
         return float(self.c @ solution) * self.cost_scale
 
 
+def problem_from_window(config, topology, window, *,
+                        tokens_per_step: int = 4096,
+                        capacities: Optional[Sequence[int]] = None,
+                        bandwidth_override: Optional[Sequence[float]] = None
+                        ) -> PlacementProblem:
+    """Build a :class:`PlacementProblem` from recent routing statistics.
+
+    ``window`` is any source of routing counts: a
+    :class:`~repro.placement.replan.RoutingWindow` (anything with a
+    ``total()`` method), a :class:`~repro.routing.trace.RoutingTrace`
+    (anything with a ``counts`` array), or a raw ``(layers, experts)`` /
+    ``(steps, layers, experts)`` array.  The summed counts are normalized
+    into a locality profile whose rows sum to ``config.top_k`` — the same
+    convention as ``RoutingTrace.probability_matrix`` — with a uniform
+    fallback for layers that routed nothing.  This is the online
+    re-placement entry point: the profiling pass's probability matrix,
+    measured on recent traffic instead of pre-fine-tuning traffic.
+    """
+    if hasattr(window, "total"):
+        counts = np.asarray(window.total(), dtype=np.float64)
+    elif hasattr(window, "counts"):
+        counts = np.asarray(window.counts, dtype=np.float64)
+    else:
+        counts = np.asarray(window, dtype=np.float64)
+    if counts.ndim == 3:
+        counts = counts.sum(axis=0)
+    expected = (config.num_layers, config.num_experts)
+    if counts.shape != expected:
+        raise ValueError(f"window counts shape {counts.shape} != {expected}")
+    row_mass = counts.sum(axis=1, keepdims=True)
+    uniform = np.full_like(counts, 1.0 / config.num_experts)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        profile = np.where(row_mass > 0, counts / np.where(
+            row_mass > 0, row_mass, 1.0), uniform)
+    return PlacementProblem(config=config, topology=topology,
+                            probability_matrix=profile * config.top_k,
+                            tokens_per_step=tokens_per_step,
+                            capacities=capacities,
+                            bandwidth_override=bandwidth_override)
+
+
 def comm_coefficients(problem: PlacementProblem) -> np.ndarray:
     """Per-(worker, layer, expert) expected communication seconds.
 

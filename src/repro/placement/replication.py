@@ -21,7 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from .base import Placement, PlacementProblem, PlacementStrategy
-from .lp import comm_coefficients
+from .lp import comm_coefficients, problem_from_window
 from .vela import LocalityAwarePlacement
 
 
@@ -190,6 +190,19 @@ class ReplicationStrategy(PlacementStrategy):
     def place(self, problem: PlacementProblem) -> ReplicatedPlacement:
         """Compute a placement for ``problem``."""
         return self.solve(problem).placement
+
+    def solve_from_window(self, config, topology, window,
+                          **problem_kwargs) -> ReplicationReport:
+        """Re-solve (base strategy + replication) from a routing window.
+
+        ``window`` is anything :func:`~repro.placement.lp.
+        problem_from_window` accepts; keyword arguments pass through to
+        the problem (pass ``capacities`` with real spare room, or
+        replication has nothing to spend).
+        """
+        problem = problem_from_window(config, topology, window,
+                                      **problem_kwargs)
+        return self.solve(problem)
 
     # ------------------------------------------------------------------ #
     def _best_move(self, placement: ReplicatedPlacement,

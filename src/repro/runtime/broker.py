@@ -128,6 +128,19 @@ class ExpertBroker:
         self.telemetry = telemetry
         self.monitor = monitor
 
+    def swap_placement(self, placement: Placement) -> None:
+        """Hot-swap the active placement (online re-placement hook).
+
+        Shape-validated like the constructor; the assignment is swapped
+        atomically (one attribute store), so a concurrently running
+        ``plan_step`` uses either the old or the new placement, never a
+        mix.
+        """
+        if placement.num_layers != self.config.num_layers or \
+                placement.num_experts != self.config.num_experts:
+            raise ValueError("placement shape does not match model config")
+        self.placement = placement
+
     def _record_dispatch_bytes(self, counts: np.ndarray) -> None:
         """Attribute planned payload bytes to (layer, expert, worker) edges.
 

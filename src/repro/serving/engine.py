@@ -13,6 +13,7 @@ a good policy approaches all-resident latency.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -169,6 +170,12 @@ class LiveEngineBase:
         self.executor = executor
         self.weight_format = weight_format
         self.quantization_report = None
+        # Online re-placement: swap_placement() stages a new placement;
+        # the serve loops apply it at their next iteration boundary.
+        self._swap_lock = threading.Lock()
+        self._pending_placement = None
+        self.active_placement = monitor.placement \
+            if monitor is not None else None
         if weight_format == "int8":
             # Round-trip the expert weights through the int8 format so every
             # in-process path (single-token fast path, prefill) computes with
@@ -179,6 +186,37 @@ class LiveEngineBase:
             if not executor.bound:
                 executor.bind(model, weight_format=weight_format)
             model.set_expert_executor(executor)
+
+    def swap_placement(self, placement) -> None:
+        """Stage a placement hot-swap (online re-placement hook).
+
+        The swap is *deferred*: it takes effect at the engine's next
+        iteration boundary (between decode steps), so whatever step is
+        in flight finishes entirely under the old placement.  Decode is
+        never stalled, and no request is evicted or re-prefilled —
+        placement only changes where routing statistics are *scored*
+        (and, in a real deployment, where expert weights live), not the
+        model arithmetic.
+        """
+        with self._swap_lock:
+            self._pending_placement = placement
+
+    def apply_pending_placement(self):
+        """Apply a staged swap, if any; returns the applied placement.
+
+        Called by the serve loops at iteration boundaries.  Updates
+        ``active_placement`` and the attached monitor (so locality
+        gauges immediately score against the new assignment).
+        """
+        with self._swap_lock:
+            placement = self._pending_placement
+            self._pending_placement = None
+        if placement is None:
+            return None
+        self.active_placement = placement
+        if self.monitor is not None:
+            self.monitor.swap_placement(placement)
+        return placement
 
 
 class LiveDecodeEngine(LiveEngineBase):
@@ -269,6 +307,7 @@ class LiveDecodeEngine(LiveEngineBase):
         num_experts = self.model.config.num_experts
         clock = telemetry.tracer.clock if telemetry is not None else None
         with serving_flags(self.model), no_grad():
+            self.apply_pending_placement()
             mark = clock.now() if clock is not None else 0.0
             if mode == "cached":
                 caches = self.model.new_kv_caches(batch,
@@ -291,6 +330,9 @@ class LiveDecodeEngine(LiveEngineBase):
                 monitor.observe_records(self.model.routing_records(),
                                         num_experts=num_experts)
             for token in range(1, num_tokens):
+                # Token steps are the decode loop's iteration boundary:
+                # a staged placement swap lands here, between steps.
+                self.apply_pending_placement()
                 position = prompt_len + token
                 if mode == "cached":
                     logits = self.model.forward_incremental(

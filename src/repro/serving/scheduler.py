@@ -354,6 +354,19 @@ class ContinuousBatchingEngine(LiveEngineBase):
 
         with serving_flags(self.model), no_grad():
             while pending or queue or active:
+                # -- apply a staged placement hot-swap ------------------- #
+                # Iteration boundary: every slot finished its previous
+                # decode step under the old placement; nothing is evicted
+                # or re-prefilled, the next batched step simply scores
+                # (and, in a real deployment, routes) against the new
+                # assignment.
+                swapped = self.apply_pending_placement()
+                if swapped is not None:
+                    self._emit("placement_swap", now,
+                               placement=getattr(swapped, "name", ""),
+                               active_slots=len(active),
+                               queue_depth=len(queue))
+
                 # -- arrivals up to the current virtual time ------------- #
                 while pending and pending[0].arrival_time <= now:
                     queue.append(pending.pop(0))

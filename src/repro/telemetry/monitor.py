@@ -162,6 +162,7 @@ class RoutingHealthMonitor:
         self._lock = threading.RLock()
         self._active: Dict[str, MonitorEvent] = {}
         self._prev_means: Optional[np.ndarray] = None
+        self._listeners: List = []
 
     # ------------------------------------------------------------------ #
     # health state
@@ -182,6 +183,31 @@ class RoutingHealthMonitor:
     def events(self) -> List[MonitorEvent]:
         """Every event emitted so far (anomalies, recoveries, lifecycle)."""
         return list(self.event_log.events)
+
+    def swap_placement(self, placement) -> None:
+        """Hot-swap the placement the locality gauges are computed against.
+
+        The online re-placement hook
+        (:class:`~repro.placement.replan.ReplacementController` calls it
+        after applying a migration): subsequent steps score locality and
+        collapse detection against the new assignment.  A latched
+        ``locality_collapse`` stays latched until a post-swap step
+        actually clears the threshold — recovery is measured, not
+        assumed.
+        """
+        with self._lock:
+            self.placement = placement
+
+    def add_listener(self, listener) -> None:
+        """Register a per-step callback ``listener(counts, step, events)``.
+
+        Called after every :meth:`observe_step` with the step's
+        ``(layers, experts)`` counts, its step index, and the events the
+        step emitted — outside the monitor's lock, so a listener may call
+        back into the monitor (or run a placement re-solve) freely.
+        """
+        with self._lock:
+            self._listeners.append(listener)
 
     def stability_report(self) -> Optional[StabilityReport]:
         """The Theorem-1 report over observed steps (None before 2 steps)."""
@@ -268,7 +294,13 @@ class RoutingHealthMonitor:
             if probs is not None:
                 self._observe_probs(np.asarray(probs, dtype=np.float64),
                                     counts, step, emitted)
-            return emitted
+            listeners = list(self._listeners)
+        # Listeners run outside the lock: a re-placement controller may
+        # solve an LP and swap the placement back in without deadlocking
+        # a concurrent scrape thread.
+        for listener in listeners:
+            listener(counts, step, emitted)
+        return emitted
 
     def _observe_probs(self, probs: np.ndarray, counts: np.ndarray,
                        step: int, emitted: List[MonitorEvent]) -> None:

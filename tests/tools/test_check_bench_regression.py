@@ -63,6 +63,23 @@ def serving_batch_payload(ratio=4.0, single=True, per_request=True):
     }
 
 
+def replacement_payload(applied=True, drop=0.2, recouped=True,
+                        break_even=16.0, declined=True):
+    return {
+        "headline": {
+            "applied": applied,
+            "cross_node_drop": drop,
+            "recouped_within_remaining": recouped,
+            "break_even_steps": break_even,
+            "remaining_steps": 25,
+        },
+        "unprofitable": {
+            "skipped_unprofitable": declined,
+            "placement_unchanged": declined,
+        },
+    }
+
+
 class TestLookup:
     def test_nested_path(self):
         assert cbr.lookup({"a": {"b": 3}}, "a.b") == 3
@@ -149,6 +166,35 @@ class TestCompare:
                                tolerance=0.5)
         assert all(f.ok for f in findings)
 
+    def test_replacement_booleans_are_hard_gates(self):
+        findings = cbr.compare("replacement", replacement_payload(),
+                               replacement_payload())
+        assert all(f.ok for f in findings)
+        findings = cbr.compare("replacement",
+                               replacement_payload(recouped=False),
+                               replacement_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.recouped_within_remaining"]
+        findings = cbr.compare("replacement",
+                               replacement_payload(declined=False),
+                               replacement_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["unprofitable.skipped_unprofitable",
+                          "unprofitable.placement_unchanged"]
+
+    def test_replacement_break_even_checked_against_remaining(self):
+        # the limit is the committed run's remaining-steps budget, not the
+        # committed break-even measurement
+        findings = cbr.compare("replacement",
+                               replacement_payload(break_even=24.0),
+                               replacement_payload(break_even=16.0))
+        assert all(f.ok for f in findings)
+        findings = cbr.compare("replacement",
+                               replacement_payload(break_even=26.0),
+                               replacement_payload())
+        failed = [f.path for f in findings if not f.ok]
+        assert failed == ["headline.break_even_steps"]
+
     def test_missing_field_reported_not_raised(self):
         findings = cbr.compare("serving", {"headline": {}},
                                serving_payload())
@@ -210,7 +256,8 @@ class TestMain:
         for kind, name in (("replay", "BENCH_replay.json"),
                            ("serving", "BENCH_serving.json"),
                            ("parallel", "BENCH_parallel.json"),
-                           ("serving_batch", "BENCH_serving_batch.json")):
+                           ("serving_batch", "BENCH_serving_batch.json"),
+                           ("replacement", "BENCH_replacement.json")):
             baseline = str(repo / name)
             code = cbr.main(["--kind", kind, "--fresh", baseline,
                              "--baseline", baseline])

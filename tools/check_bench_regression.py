@@ -145,6 +145,20 @@ CHECKS = {
         Check("headline.single_request_identical", "exact"),
         Check("headline.per_request_identical", "exact"),
     ),
+    # Online re-placement: the replay is a deterministic byte-count
+    # simulation, so the booleans (migration applied, repaid in-run,
+    # unprofitable shift declined) are hard gates; the measured
+    # cross-node drop carries the band, and the break-even point must
+    # stay within the committed run's remaining-steps budget.
+    "replacement": (
+        Check("headline.applied", "exact"),
+        Check("headline.cross_node_drop", "higher"),
+        Check("headline.recouped_within_remaining", "exact"),
+        Check("headline.break_even_steps", "limit",
+              baseline_path="headline.remaining_steps"),
+        Check("unprofitable.skipped_unprofitable", "exact"),
+        Check("unprofitable.placement_unchanged", "exact"),
+    ),
 }
 
 
