@@ -17,8 +17,8 @@ from .replan import (BreakEvenReport, ExpertMove, MigrationPlan,
                      RESOLVE_MODES, ReplacementController, ReplanConfig,
                      ReplanDecision, RoutingWindow, TRIGGER_POLICIES,
                      plan_migration)
-from .replication import (ReplicatedPlacement, ReplicationReport,
-                          ReplicationStrategy,
+from .replication import (FrozenPlacementStrategy, ReplicatedPlacement,
+                          ReplicationReport, ReplicationStrategy,
                           expected_step_comm_time_replicated)
 from .rounding import round_relaxed_assignment, rounding_gap
 from .sequential import SequentialPlacement
@@ -39,7 +39,7 @@ __all__ = [
     "simplex_solve", "SimplexError",
     "save_placement", "load_placement",
     "ReplicatedPlacement", "ReplicationStrategy", "ReplicationReport",
-    "expected_step_comm_time_replicated",
+    "FrozenPlacementStrategy", "expected_step_comm_time_replicated",
     "problem_from_window", "RoutingWindow", "ExpertMove", "MigrationPlan",
     "plan_migration", "BreakEvenReport", "ReplanConfig", "ReplanDecision",
     "ReplacementController", "TRIGGER_POLICIES", "RESOLVE_MODES",

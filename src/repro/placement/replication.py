@@ -63,6 +63,17 @@ class ReplicatedPlacement:
         """Extra expert copies beyond the primaries."""
         return sum(len(v) for v in self.replicas.values())
 
+    @property
+    def assignment(self) -> np.ndarray:
+        """The primary's ``(layers, experts)`` worker-id matrix.
+
+        Consumers that score against a single-owner assignment (the
+        routing-health monitor's locality gauges, ``CommCostModel``) see
+        the primary placement; replica holders are only visible through
+        :meth:`holders` / :meth:`fractions`.
+        """
+        return self.primary.assignment
+
     def holders(self, layer: int, expert: int) -> List[int]:
         """All workers holding a copy of expert ``(layer, expert)``."""
         extra = self.replicas.get((layer, expert), [])
@@ -124,6 +135,33 @@ def expected_step_comm_time_replicated(placement: ReplicatedPlacement,
                 worker_time[worker] += coef[worker, layer, expert] * fraction
         total += worker_time.max()
     return float(total)
+
+
+class FrozenPlacementStrategy(PlacementStrategy):
+    """A strategy that always returns one fixed, precomputed placement.
+
+    Used as the ``base`` of :class:`ReplicationStrategy` when the primary
+    assignment must not move — the live decode path's online hot-expert
+    replication promotes copies *on top of* the serving placement without
+    migrating any primary (migration is
+    :class:`~repro.placement.replan.ReplacementController`'s job, on its
+    own cadence).
+    """
+
+    name = "frozen"
+
+    def __init__(self, placement: Placement):
+        self.placement = placement
+
+    def place(self, problem: PlacementProblem) -> Placement:
+        """Return the frozen placement (the problem only prices it)."""
+        if problem.config.num_layers != self.placement.num_layers or \
+                problem.config.num_experts != self.placement.num_experts:
+            raise ValueError(
+                f"frozen placement is {self.placement.num_layers}x"
+                f"{self.placement.num_experts} but the problem wants "
+                f"{problem.config.num_layers}x{problem.config.num_experts}")
+        return self.placement
 
 
 @dataclass

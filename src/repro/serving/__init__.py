@@ -3,12 +3,19 @@
 from .batching import (FINISH_REASONS, BatchedDecodeSimulator,
                        BatchedServingMetrics, Request, RequestOutcome,
                        poisson_workload)
-from .cache import POLICIES, CacheStats, ExpertCache, hot_expert_keys
+from .cache import (POLICIES, CacheStats, ExpertCache, hot_expert_keys,
+                    safe_ratio)
 from .engine import (DECODE_MODES, DecodeSimulator, LiveDecodeEngine,
                      LiveEngineBase, ServingConfig, ServingMetrics,
                      serving_flags)
-from .prefetch import (PrefetchingDecodeSimulator, PrefetchStats,
-                       SpeculativePrefetcher)
+from .prefetch import (LIVE_CACHE_POLICIES, PREDICTORS, DecodePrefetcher,
+                       OraclePredictor, OverlappedFetchScheduler,
+                       PrefetchConfig, PrefetchStats,
+                       PrefetchingDecodeSimulator, PreviousTokenPredictor,
+                       SpeculativePrefetcher, StepFetchReport,
+                       TransitionPredictor, make_predictor,
+                       markov_decode_stream, replay_stream,
+                       sample_decode_stream, stream_lookahead)
 from .scheduler import (ADMISSION_POLICIES, ContinuousBatchingEngine,
                         ContinuousServingMetrics, SlotPool)
 
@@ -21,4 +28,9 @@ __all__ = [
     "ContinuousBatchingEngine", "ContinuousServingMetrics", "SlotPool",
     "ADMISSION_POLICIES",
     "SpeculativePrefetcher", "PrefetchingDecodeSimulator", "PrefetchStats",
+    "safe_ratio", "PREDICTORS", "LIVE_CACHE_POLICIES", "make_predictor",
+    "TransitionPredictor", "PreviousTokenPredictor", "OraclePredictor",
+    "OverlappedFetchScheduler", "StepFetchReport", "DecodePrefetcher",
+    "PrefetchConfig", "sample_decode_stream", "markov_decode_stream",
+    "stream_lookahead", "replay_stream",
 ]

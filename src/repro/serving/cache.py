@@ -8,20 +8,35 @@ three eviction/placement policies:
 * ``lru`` — classic recency eviction,
 * ``lfu`` — frequency eviction (MoE-Infinity-style activation awareness),
 * ``pinned`` — VELA's insight applied to serving: pin the experts the
-  locality profile says are hot, evict only among the unpinned remainder.
+  locality profile says are hot, evict only among the unpinned remainder,
+* ``belady`` — the offline oracle (evict the key reused furthest in the
+  future, given a ``lookahead`` access sequence) — the upper bound the
+  prefetch benchmark reports the online policies against.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import math
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Deque, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 ExpertKey = Tuple[int, int]  # (layer, expert)
 
-POLICIES = ("lru", "lfu", "pinned")
+POLICIES = ("lru", "lfu", "pinned", "belady")
+
+
+def safe_ratio(part: float, whole: float) -> float:
+    """``part / whole`` with one repo-wide zero-denominator convention.
+
+    Every hit-rate/accuracy style statistic in :mod:`repro.serving` routes
+    through this helper, so a cache that was never accessed and a
+    prefetcher that never predicted report the same value — ``0.0`` — and
+    never divide by zero.
+    """
+    return part / whole if whole else 0.0
 
 
 @dataclass
@@ -38,8 +53,8 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Cache hits over total accesses."""
-        return self.hits / self.accesses if self.accesses else 0.0
+        """Cache hits over total accesses (0.0 with no accesses)."""
+        return safe_ratio(self.hits, self.accesses)
 
 
 class ExpertCache:
@@ -54,10 +69,18 @@ class ExpertCache:
     pinned:
         For the ``pinned`` policy: expert keys that are never evicted
         (typically the profile's hottest experts).  Must fit in capacity.
+    lookahead:
+        For the ``belady`` policy: the future access sequence, in the
+        exact order :meth:`access` will replay it.  Each access consumes
+        the key's earliest remaining scheduled position; eviction removes
+        the resident key whose next scheduled use is furthest away (never
+        reused beats everything).  Offline-only by construction — the
+        oracle upper bound for the prefetch/caching benchmarks.
     """
 
     def __init__(self, capacity: int, policy: str = "lru",
-                 pinned: Optional[Set[ExpertKey]] = None):
+                 pinned: Optional[Set[ExpertKey]] = None,
+                 lookahead: Optional[Sequence[ExpertKey]] = None):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         if policy not in POLICIES:
@@ -68,12 +91,22 @@ class ExpertCache:
                              f"{capacity}")
         if policy != "pinned" and pinned:
             raise ValueError("pinned set requires the 'pinned' policy")
+        if policy == "belady" and lookahead is None:
+            raise ValueError("the 'belady' policy requires a lookahead "
+                             "access sequence")
+        if policy != "belady" and lookahead is not None:
+            raise ValueError("lookahead requires the 'belady' policy")
         self.capacity = capacity
         self.policy = policy
         self.pinned = pinned
         self.stats = CacheStats()
         self._resident: "OrderedDict[ExpertKey, int]" = OrderedDict()
         self._frequency: Dict[ExpertKey, int] = {}
+        self._future: Dict[ExpertKey, Deque[int]] = {}
+        if lookahead is not None:
+            for position, key in enumerate(lookahead):
+                key = (int(key[0]), int(key[1]))
+                self._future.setdefault(key, deque()).append(position)
         # Pinned experts start resident (they are loaded at startup).
         for key in sorted(pinned):
             self._resident[key] = 0
@@ -90,6 +123,12 @@ class ExpertCache:
     def access(self, key: ExpertKey) -> bool:
         """Access one expert; returns True on hit (False triggered a fetch)."""
         self._frequency[key] = self._frequency.get(key, 0) + 1
+        if self.policy == "belady":
+            # This access consumes the key's earliest scheduled position,
+            # so _next_use now answers "when is it needed *again*".
+            scheduled = self._future.get(key)
+            if scheduled:
+                scheduled.popleft()
         if key in self._resident:
             self.stats.hits += 1
             self._resident.move_to_end(key)
@@ -104,12 +143,21 @@ class ExpertCache:
         self._resident[key] = 0
         self._resident.move_to_end(key)
 
+    def _next_use(self, key: ExpertKey) -> float:
+        """Position of the key's next scheduled access (inf = never again)."""
+        scheduled = self._future.get(key)
+        return float(scheduled[0]) if scheduled else math.inf
+
     def _evict(self) -> None:
         candidates = [k for k in self._resident if k not in self.pinned]
         if not candidates:
             raise RuntimeError("cache full of pinned experts; cannot admit")
         if self.policy == "lfu":
             victim = min(candidates, key=lambda k: (self._frequency.get(k, 0), k))
+        elif self.policy == "belady":
+            # The oracle: evict the key reused furthest in the future
+            # (ties broken toward the larger key, deterministically).
+            victim = max(candidates, key=lambda k: (self._next_use(k), k))
         else:  # lru and pinned both evict by recency among the evictable
             victim = next(k for k in self._resident if k not in self.pinned)
         del self._resident[victim]

@@ -156,7 +156,8 @@ class LiveEngineBase:
     def __init__(self, model: MoETransformer, dispatch: str = "fused",
                  telemetry: Optional[Telemetry] = None,
                  monitor: Optional[RoutingHealthMonitor] = None,
-                 executor=None, weight_format: str = "native"):
+                 executor=None, weight_format: str = "native",
+                 events=None, prefetch=None):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
@@ -169,6 +170,7 @@ class LiveEngineBase:
         self.monitor = monitor
         self.executor = executor
         self.weight_format = weight_format
+        self.events = events
         self.quantization_report = None
         # Online re-placement: swap_placement() stages a new placement;
         # the serve loops apply it at their next iteration boundary.
@@ -176,6 +178,19 @@ class LiveEngineBase:
         self._pending_placement = None
         self.active_placement = monitor.placement \
             if monitor is not None else None
+        # Predictive prefetch: an accounting-only sidecar fed with each
+        # iteration's routing records.  It never touches the model, so
+        # generated ids are bit-identical with prefetch on or off.
+        self.prefetcher = None
+        if prefetch is not None:
+            from .prefetch import DecodePrefetcher, PrefetchConfig
+            if not isinstance(prefetch, PrefetchConfig):
+                raise TypeError(f"prefetch must be a PrefetchConfig, "
+                                f"got {type(prefetch).__name__}")
+            self.prefetcher = DecodePrefetcher(
+                model.config, prefetch, telemetry=telemetry,
+                event_log=events, placement=self.active_placement)
+            self.prefetcher.bind(self)
         if weight_format == "int8":
             # Round-trip the expert weights through the int8 format so every
             # in-process path (single-token fast path, prefill) computes with
@@ -216,6 +231,10 @@ class LiveEngineBase:
         self.active_placement = placement
         if self.monitor is not None:
             self.monitor.swap_placement(placement)
+        if self.prefetcher is not None:
+            # Re-price fetches against the new holders (idempotent when
+            # the prefetcher's own replication pass staged this swap).
+            self.prefetcher.scheduler.set_placement(placement)
         return placement
 
 
@@ -263,13 +282,15 @@ class LiveDecodeEngine(LiveEngineBase):
                  mode: str = "cached",
                  telemetry: Optional[Telemetry] = None,
                  monitor: Optional[RoutingHealthMonitor] = None,
-                 executor=None, weight_format: str = "native"):
+                 executor=None, weight_format: str = "native",
+                 events=None, prefetch=None):
         if mode not in DECODE_MODES:
             raise ValueError(f"mode must be one of {DECODE_MODES}, "
                              f"got {mode!r}")
         super().__init__(model, dispatch=dispatch, telemetry=telemetry,
                          monitor=monitor, executor=executor,
-                         weight_format=weight_format)
+                         weight_format=weight_format, events=events,
+                         prefetch=prefetch)
         self.mode = mode
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int,
@@ -304,8 +325,19 @@ class LiveDecodeEngine(LiveEngineBase):
         ids[:, :prompt_len] = prompt_ids
         telemetry = self.telemetry
         monitor = self.monitor
+        prefetcher = self.prefetcher
         num_experts = self.model.config.num_experts
         clock = telemetry.tracer.clock if telemetry is not None else None
+
+        def observe_routing() -> None:
+            if monitor is None and prefetcher is None:
+                return
+            records = self.model.routing_records()
+            if monitor is not None:
+                monitor.observe_records(records, num_experts=num_experts)
+            if prefetcher is not None:
+                prefetcher.observe_records(records)
+
         with serving_flags(self.model), no_grad():
             self.apply_pending_placement()
             mark = clock.now() if clock is not None else 0.0
@@ -326,9 +358,7 @@ class LiveDecodeEngine(LiveEngineBase):
                 telemetry.histogram(
                     "serve.prefill_latency_s").observe(now - mark)
                 mark = now
-            if monitor is not None:
-                monitor.observe_records(self.model.routing_records(),
-                                        num_experts=num_experts)
+            observe_routing()
             for token in range(1, num_tokens):
                 # Token steps are the decode loop's iteration boundary:
                 # a staged placement swap lands here, between steps.
@@ -350,9 +380,7 @@ class LiveDecodeEngine(LiveEngineBase):
                     telemetry.histogram(
                         "serve.token_latency_s").observe(now - mark)
                     mark = now
-                if monitor is not None:
-                    monitor.observe_records(self.model.routing_records(),
-                                            num_experts=num_experts)
+                observe_routing()
         return ids[:, prompt_len:]
 
 

@@ -1,43 +1,204 @@
-"""Speculative expert prefetching for offloaded decoding.
+"""Predictive expert prefetching: learned speculation + overlapped fetches.
 
 A decode step cannot know layer ``l+1``'s experts before computing layer
 ``l`` — but MoE routing has *temporal* locality on top of the global kind:
-consecutive tokens often reuse experts.  Fiddler/MoE-Infinity exploit this
-by speculatively prefetching the experts the previous token used, hiding
-the fetch behind compute when the guess is right.
+consecutive tokens often reuse experts, and which experts follow which is
+itself predictable.  Fiddler/MoE-Infinity exploit the first fact by
+speculatively prefetching the experts the previous token used; "Fast MoE
+Inference via Predictive Prefetching and Expert Replication" goes further
+and *learns* the next-expert distribution, replicating persistently-hot
+experts so their fetches become local.
 
-:class:`SpeculativePrefetcher` implements the previous-token policy and the
-decode loop that charges a fetch only for (a) mispredicted experts and
-(b) prefetches that could not be hidden behind the step's compute window.
+This module carries both generations:
+
+* :class:`SpeculativePrefetcher` + :class:`PrefetchingDecodeSimulator` —
+  the original previous-token policy over an :class:`ExpertCache`
+  (kept as the baseline and for A/B tests).
+* :class:`PreviousTokenPredictor` / :class:`TransitionPredictor` /
+  :class:`OraclePredictor` — pluggable next-step expert predictors.  The
+  transition predictor accumulates per-layer expert→expert transition
+  counts online from gate history and falls back to the previous-token
+  policy until a row has evidence; the oracle reads a prerecorded stream
+  and bounds what any predictor could achieve.
+* :class:`OverlappedFetchScheduler` — issues predicted-expert fetches
+  ahead of the step that needs them and charges only the *un-hidden*
+  remainder (Comet-style fine-grained overlap: speculative fetch time up
+  to the step's compute window is free; overflow and mispredictions are
+  synchronous).  Fetches are priced per expert — PCIe for locally-held
+  experts, plus the holder's cluster link when the active placement puts
+  the expert on a remote worker.
+* :class:`DecodePrefetcher` — the live-engine sidecar
+  (``LiveDecodeEngine(prefetch=...)`` / ``ContinuousBatchingEngine(
+  prefetch=...)``): feeds the scheduler from each step's routing records,
+  emits ``serve.prefetch_*`` telemetry, and — via a PR-8
+  :class:`~repro.placement.replan.RoutingWindow` — periodically promotes
+  persistently-hot experts onto the local worker through
+  :class:`~repro.placement.replication.ReplicationStrategy` and the
+  engines' ``swap_placement`` hot-swap hooks.  The sidecar only *reads*
+  routing records; greedy token ids are bit-identical with prefetch on
+  and off.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..models.config import MoEModelConfig
 from ..routing.synthetic import SyntheticRouter
 from ..runtime.flops import FlopModel
-from .cache import ExpertCache, ExpertKey
+from .cache import ExpertCache, ExpertKey, safe_ratio
 from .engine import ServingConfig, ServingMetrics
+
+#: Predictors usable in the live path; ``"oracle"`` additionally exists for
+#: offline streams (it needs the future) and is simulator-only.
+PREDICTORS = ("transition", "previous")
+
+#: Cache policies a live prefetcher may use (``belady`` needs a lookahead
+#: sequence, which only offline replays have).
+LIVE_CACHE_POLICIES = ("lru", "lfu")
 
 
 @dataclass
 class PrefetchStats:
-    """Speculation counters: predictions, hits, wasted fetches."""
+    """Speculation counters: predictions, hits, wasted/hidden/unhidden work.
+
+    Byte counters are cumulative over the run; ``hidden_bytes`` were
+    overlapped under compute windows, ``unhidden_bytes`` (sync misses plus
+    prefetch overflow) stalled a decode step, and ``remote_bytes`` also
+    crossed a cluster link because the active placement held the expert on
+    a non-local worker.
+    """
     predicted: int = 0
     correct: int = 0
     wasted: int = 0
+    steps: int = 0
+    sync_fetches: int = 0
+    prefetch_fetches: int = 0
+    hidden_bytes: float = 0.0
+    unhidden_bytes: float = 0.0
+    remote_bytes: float = 0.0
 
     @property
     def accuracy(self) -> float:
-        """Correct predictions over total predictions."""
-        return self.correct / self.predicted if self.predicted else 0.0
+        """Correct predictions over total predictions (0.0 with none)."""
+        return safe_ratio(self.correct, self.predicted)
+
+    @property
+    def unhidden_bytes_per_step(self) -> float:
+        """Mean un-hidden fetch bytes charged per decode step."""
+        return safe_ratio(self.unhidden_bytes, self.steps)
 
 
+# --------------------------------------------------------------------- #
+# next-step expert predictors
+# --------------------------------------------------------------------- #
+ExpertSets = List[Set[int]]  # one set of expert ids per MoE layer
+
+
+class ExpertPredictor:
+    """Interface: predict the next step's per-layer expert sets."""
+
+    def update(self, previous: ExpertSets, current: ExpertSets) -> None:
+        """Learn from one observed transition (previous step → current)."""
+
+    def predict(self, current: ExpertSets) -> ExpertSets:
+        """Per-layer expert sets expected at the *next* step."""
+        raise NotImplementedError
+
+
+class PreviousTokenPredictor(ExpertPredictor):
+    """The Fiddler baseline: the next token reuses the current experts."""
+
+    def update(self, previous: ExpertSets, current: ExpertSets) -> None:
+        pass  # stateless
+
+    def predict(self, current: ExpertSets) -> ExpertSets:
+        return [set(layer) for layer in current]
+
+
+class TransitionPredictor(ExpertPredictor):
+    """Learned next-step prediction from per-layer transition counts.
+
+    ``counts[l, p, c]`` accumulates how often expert ``c`` was routed at
+    a step that followed one routing expert ``p`` on layer ``l`` — gate
+    history digested online, no extra model.  Prediction sums the rows of
+    the currently-active experts and takes the top scorers (as many as
+    are currently active, so the prediction budget matches the
+    previous-token baseline exactly).  Ties break toward the lowest
+    expert id; experts with zero evidence are filled from the
+    previous-token fallback, so a cold-start transition predictor *is*
+    the baseline until it has seen traffic.
+    """
+
+    def __init__(self, num_layers: int, num_experts: int):
+        if num_layers < 1 or num_experts < 1:
+            raise ValueError("num_layers and num_experts must be positive")
+        self.num_layers = num_layers
+        self.num_experts = num_experts
+        self.counts = np.zeros((num_layers, num_experts, num_experts))
+
+    def update(self, previous: ExpertSets, current: ExpertSets) -> None:
+        for layer, (prev, cur) in enumerate(zip(previous, current)):
+            if prev and cur:
+                self.counts[layer][np.ix_(sorted(prev), sorted(cur))] += 1.0
+
+    def predict(self, current: ExpertSets) -> ExpertSets:
+        out: ExpertSets = []
+        for layer, cur in enumerate(current):
+            budget = len(cur)
+            if budget == 0:
+                out.append(set())
+                continue
+            row = self.counts[layer][sorted(cur)].sum(axis=0)
+            order = np.argsort(-row, kind="stable")  # ties: lowest id first
+            picked = [int(e) for e in order[:budget] if row[e] > 0]
+            if len(picked) < budget:  # cold start: previous-token fallback
+                for e in sorted(cur):
+                    if e not in picked:
+                        picked.append(e)
+                    if len(picked) == budget:
+                        break
+            out.append(set(picked))
+        return out
+
+
+class OraclePredictor(ExpertPredictor):
+    """Offline upper bound: reads the next step from a prerecorded stream.
+
+    Only usable when the access stream is known ahead of time (the
+    benchmark's replay); the live engines reject it.
+    """
+
+    def __init__(self, stream: Sequence[ExpertSets]):
+        self.stream = [list(map(set, step)) for step in stream]
+        self._calls = 0
+
+    def update(self, previous: ExpertSets, current: ExpertSets) -> None:
+        pass
+
+    def predict(self, current: ExpertSets) -> ExpertSets:
+        self._calls += 1
+        if self._calls < len(self.stream):
+            return [set(layer) for layer in self.stream[self._calls]]
+        return [set() for _ in current]
+
+
+def make_predictor(name: str, config: MoEModelConfig) -> ExpertPredictor:
+    """Build a live-path predictor by name (one of :data:`PREDICTORS`)."""
+    if name == "transition":
+        return TransitionPredictor(config.num_layers, config.num_experts)
+    if name == "previous":
+        return PreviousTokenPredictor()
+    raise ValueError(f"predictor must be one of {PREDICTORS}, got {name!r}")
+
+
+# --------------------------------------------------------------------- #
+# the previous-token baseline (PR-1 era API, kept for A/B tests)
+# --------------------------------------------------------------------- #
 class SpeculativePrefetcher:
     """Previous-token speculation over an expert cache."""
 
@@ -137,3 +298,511 @@ class PrefetchingDecodeSimulator:
                               hit_rate=self.cache.stats.hit_rate,
                               evictions=self.cache.stats.evictions,
                               fetch_time_total=fetch_total)
+
+
+# --------------------------------------------------------------------- #
+# overlapped fetch scheduling
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StepFetchReport:
+    """One decode step's fetch accounting under the overlap model."""
+
+    tokens: int
+    compute_s: float
+    latency_s: float
+    predicted: int
+    correct: int
+    sync_fetches: int
+    prefetch_fetches: int
+    hidden_bytes: float
+    unhidden_bytes: float
+    remote_bytes: float
+
+
+class OverlappedFetchScheduler:
+    """Issue predicted-expert fetches under the step's compute window.
+
+    The overlap accounting mirrors what
+    :class:`~repro.runtime.overlap.OverlappedMasterWorkerEngine` models for
+    training exchanges: work that fits under compute is free, only the
+    exceeding tail stalls.  Per step:
+
+    1. last step's speculative fetch time up to the compute window is
+       *hidden*; the overflow is charged to this step's latency (bytes
+       split proportionally into ``hidden_bytes`` / ``unhidden_bytes``);
+    2. every needed expert is accessed in the cache — misses fetch
+       synchronously (fully un-hidden);
+    3. the predictor learns the observed transition, predicts the next
+       step, and the scheduler issues speculative fetches for predicted
+       non-resident experts (to be scored at the next step).
+
+    A fetch is priced from the expert's *holder*: PCIe host→device
+    (:meth:`ServingConfig.fetch_time`) when the active placement holds a
+    copy on ``local_worker`` (or no placement is set), plus the
+    best-bandwidth holder's master link (the :mod:`repro.comm` /
+    :mod:`repro.cluster` model) when every copy is remote — which is
+    exactly what hot-expert replication removes.
+
+    ``price_config`` decouples pricing from the (tiny) live model:
+    passing ``mixtral_8x7b_sim()`` makes the byte/time accounting reflect
+    a deployment-scale model while a CPU-sized model produces the routing
+    stream.  ``predictor=None`` disables speculation entirely (every miss
+    is synchronous) — the "off" baseline.
+    """
+
+    def __init__(self, config: MoEModelConfig,
+                 predictor: Optional[ExpertPredictor],
+                 cache: ExpertCache,
+                 serving: Optional[ServingConfig] = None,
+                 placement=None, topology=None, local_worker: int = 0,
+                 price_config: Optional[MoEModelConfig] = None):
+        self.config = config
+        self.predictor = predictor
+        self.cache = cache
+        self.serving = serving or ServingConfig()
+        self.placement = placement
+        self.topology = topology
+        self.local_worker = local_worker
+        self.price_config = price_config or config
+        self.flops = FlopModel(self.price_config)
+        self.stats = PrefetchStats()
+        self._fetch_nbytes = self.serving.expert_fetch_nbytes(
+            self.price_config)
+        self._token_compute = self._token_compute_time()
+        self._predicted: Set[ExpertKey] = set()
+        self._pending_time = 0.0
+        self._pending_bytes = 0.0
+        self._prev_sets: Optional[ExpertSets] = None
+
+    def set_placement(self, placement) -> None:
+        """Swap the placement fetches are priced against (hot-swap hook)."""
+        self.placement = placement
+
+    def _token_compute_time(self) -> float:
+        """One token through every block at the pricing config's scale."""
+        device = self.serving.device
+        per_block = self.flops.backbone_layer_time(
+            device, 1.0, self.serving.context_len)
+        per_block += self.price_config.top_k * \
+            self.flops.expert_time(device, 1.0)
+        return per_block * self.price_config.num_layers + \
+            self.flops.head_time(device, 1.0)
+
+    def _holders(self, key: ExpertKey) -> List[int]:
+        layer, expert = key
+        placement = self.placement
+        if hasattr(placement, "holders"):  # ReplicatedPlacement
+            return placement.holders(layer, expert)
+        return [placement.worker_of(layer, expert)]
+
+    def _fetch_cost(self, key: ExpertKey) -> Tuple[float, float, bool]:
+        """``(seconds, bytes, crossed_cluster_link)`` for one expert fetch."""
+        nbytes = float(self._fetch_nbytes)
+        seconds = self.serving.fetch_time(nbytes)
+        if self.placement is None or self.topology is None:
+            return seconds, nbytes, False
+        holders = self._holders(key)
+        if self.local_worker in holders:
+            return seconds, nbytes, False
+        # Remote: the copy travels the best holder's master link first.
+        link = max((self.topology.master_link(worker) for worker in holders),
+                   key=lambda l: l.bandwidth_bytes_per_s)
+        return seconds + link.transfer_time(nbytes), nbytes, True
+
+    def step(self, needed_sets: ExpertSets, tokens: int = 1
+             ) -> StepFetchReport:
+        """Account one decode step's expert demand; speculate for the next.
+
+        ``needed_sets`` holds the expert ids each MoE layer routed to this
+        step; ``tokens`` scales the compute window (a batched ragged step
+        hides more fetch time than a single-token one).
+        """
+        stats = self.stats
+        stats.steps += 1
+        remote_before = stats.remote_bytes
+        needed_keys = {(layer, int(e))
+                       for layer, layer_set in enumerate(needed_sets)
+                       for e in layer_set}
+        predicted = self._predicted
+        correct = len(needed_keys & predicted)
+        stats.correct += correct
+        stats.wasted += len(predicted - needed_keys)
+
+        compute = self._token_compute * max(int(tokens), 1)
+        # 1. last step's speculation overlaps this step's compute window
+        hidden_time = min(self._pending_time, compute)
+        overflow_time = self._pending_time - hidden_time
+        hidden_fraction = safe_ratio(hidden_time, self._pending_time)
+        hidden_bytes = self._pending_bytes * hidden_fraction
+        overflow_bytes = self._pending_bytes - hidden_bytes
+
+        # 2. demand accesses; residual misses fetch synchronously
+        sync_time = 0.0
+        sync_bytes = 0.0
+        sync_fetches = 0
+        for key in sorted(needed_keys):
+            if not self.cache.access(key):
+                seconds, nbytes, remote = self._fetch_cost(key)
+                sync_time += seconds
+                sync_bytes += nbytes
+                sync_fetches += 1
+                if remote:
+                    stats.remote_bytes += nbytes
+        stats.sync_fetches += sync_fetches
+        stats.hidden_bytes += hidden_bytes
+        stats.unhidden_bytes += overflow_bytes + sync_bytes
+        latency = compute + overflow_time + sync_time
+
+        # 3. learn the transition, speculate for the next step
+        predicted_count = 0
+        prefetch_fetches = 0
+        pending_time = 0.0
+        pending_bytes = 0.0
+        if self.predictor is not None:
+            if self._prev_sets is not None:
+                self.predictor.update(self._prev_sets, needed_sets)
+            self._prev_sets = [set(layer) for layer in needed_sets]
+            next_sets = self.predictor.predict(needed_sets)
+            self._predicted = {(layer, int(e))
+                               for layer, layer_set in enumerate(next_sets)
+                               for e in layer_set}
+            predicted_count = len(self._predicted)
+            stats.predicted += predicted_count
+            for key in sorted(self._predicted):
+                if key not in self.cache:
+                    self.cache.access(key)  # loads it (counts as a miss)
+                    seconds, nbytes, remote = self._fetch_cost(key)
+                    pending_time += seconds
+                    pending_bytes += nbytes
+                    prefetch_fetches += 1
+                    if remote:
+                        stats.remote_bytes += nbytes
+            stats.prefetch_fetches += prefetch_fetches
+        self._pending_time = pending_time
+        self._pending_bytes = pending_bytes
+
+        return StepFetchReport(
+            tokens=int(tokens), compute_s=compute, latency_s=latency,
+            predicted=predicted_count, correct=correct,
+            sync_fetches=sync_fetches, prefetch_fetches=prefetch_fetches,
+            hidden_bytes=hidden_bytes,
+            unhidden_bytes=overflow_bytes + sync_bytes,
+            remote_bytes=stats.remote_bytes - remote_before)
+
+
+# --------------------------------------------------------------------- #
+# offline streams (benchmark + oracle inputs)
+# --------------------------------------------------------------------- #
+def sample_decode_stream(config: MoEModelConfig, router: SyntheticRouter,
+                         num_steps: int, seed: int = 0
+                         ) -> List[ExpertSets]:
+    """Per-step per-layer expert sets, sampled like the decode simulators.
+
+    One token per step, Gumbel top-k over the router's popularity logits —
+    the same access process :class:`~repro.serving.engine.DecodeSimulator`
+    replays, materialized up front so several policies (and the belady /
+    oracle bounds) can consume the identical stream.
+    """
+    if num_steps < 1:
+        raise ValueError("num_steps must be positive")
+    rng = np.random.default_rng(seed)
+    logits = router.base_logits
+    temperature = router.regime.gate_temperature
+    k = config.top_k
+    stream: List[ExpertSets] = []
+    for _ in range(num_steps):
+        gumbel = rng.gumbel(size=logits.shape) * temperature
+        chosen = np.argpartition(-(logits + gumbel), k - 1, axis=1)[:, :k]
+        stream.append([set(map(int, chosen[layer]))
+                       for layer in range(config.num_layers)])
+    return stream
+
+
+def markov_decode_stream(config: MoEModelConfig, num_steps: int,
+                         advance_prob: float = 0.55,
+                         resample_prob: float = 0.05,
+                         seed: int = 0) -> List[ExpertSets]:
+    """A decode stream with *gate-history* structure, not just popularity.
+
+    Real decode traces are temporally structured two ways: consecutive
+    tokens often reuse experts (what the previous-token policy exploits),
+    and *which* experts follow which is itself predictable from gate
+    history (what the learned predictors in "Fast MoE Inference via
+    Predictive Prefetching and Expert Replication" exploit).  This sampler
+    models the second kind explicitly: each layer carries a hidden
+    transition cycle (a fixed random single-cycle permutation of its
+    experts), and per step the layer's active expert set either *advances*
+    along the cycle (probability ``advance_prob``), resamples uniformly
+    (``resample_prob`` — routing noise), or stays put.
+
+    A previous-token policy tops out at the stay probability; a transition
+    predictor can learn the cycle and anticipate the advances — the regime
+    the prefetch benchmark measures.  :func:`sample_decode_stream` remains
+    the i.i.d.-popularity counterpart.
+    """
+    if num_steps < 1:
+        raise ValueError("num_steps must be positive")
+    if advance_prob < 0 or resample_prob < 0 or \
+            advance_prob + resample_prob > 1:
+        raise ValueError("advance_prob/resample_prob must be non-negative "
+                         "and sum to at most 1")
+    rng = np.random.default_rng(seed)
+    num_layers, num_experts, k = (config.num_layers, config.num_experts,
+                                  config.top_k)
+    successor = np.empty((num_layers, num_experts), dtype=np.int64)
+    for layer in range(num_layers):
+        order = rng.permutation(num_experts)
+        successor[layer][order] = np.roll(order, -1)  # one full cycle
+    state = [set(map(int, rng.choice(num_experts, size=k, replace=False)))
+             for _ in range(num_layers)]
+    stream: List[ExpertSets] = []
+    for _ in range(num_steps):
+        for layer in range(num_layers):
+            u = rng.random()
+            if u < advance_prob:
+                state[layer] = {int(successor[layer][e])
+                                for e in state[layer]}
+            elif u < advance_prob + resample_prob:
+                state[layer] = set(map(int, rng.choice(
+                    num_experts, size=k, replace=False)))
+        stream.append([set(layer_set) for layer_set in state])
+    return stream
+
+
+def stream_lookahead(stream: Sequence[ExpertSets]) -> List[ExpertKey]:
+    """Flatten a stream into the exact access order :func:`replay_stream`
+    uses — the belady policy's ``lookahead`` input."""
+    return [(layer, int(e))
+            for step in stream
+            for layer, e in sorted({(l, int(ex))
+                                    for l, layer_set in enumerate(step)
+                                    for ex in layer_set})]
+
+
+def replay_stream(stream: Sequence[ExpertSets],
+                  scheduler: OverlappedFetchScheduler) -> ServingMetrics:
+    """Replay a prerecorded stream through a scheduler; returns metrics."""
+    latencies = np.empty(len(stream))
+    fetch_total = 0.0
+    for step, needed_sets in enumerate(stream):
+        report = scheduler.step(needed_sets)
+        latencies[step] = report.latency_s
+        fetch_total += report.latency_s - report.compute_s
+    return ServingMetrics(token_latencies=latencies,
+                          hit_rate=scheduler.cache.stats.hit_rate,
+                          evictions=scheduler.cache.stats.evictions,
+                          fetch_time_total=fetch_total)
+
+
+# --------------------------------------------------------------------- #
+# the live-engine sidecar
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Knobs of the live-path predictive prefetcher (see ``docs/API.md``).
+
+    ``predictor`` selects the speculation policy (:data:`PREDICTORS`);
+    ``cache_capacity`` defaults to half the model's experts;
+    ``model_config`` reprices bytes/times at a deployment scale (default:
+    the engine's own config); ``topology`` + the engine's active placement
+    enable remote-fetch pricing and — with ``replication_budget > 0`` —
+    online promotion of persistently-hot experts onto ``local_worker``
+    every ``replication_interval`` observed steps, using the last
+    ``window_size`` steps of routing counts.
+    """
+
+    predictor: str = "transition"
+    cache_capacity: Optional[int] = None
+    cache_policy: str = "lru"
+    serving: Optional[ServingConfig] = None
+    model_config: Optional[MoEModelConfig] = None
+    topology: Any = None
+    local_worker: int = 0
+    replication_budget: int = 0
+    replication_interval: int = 32
+    window_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.predictor not in PREDICTORS:
+            raise ValueError(f"predictor must be one of {PREDICTORS}, "
+                             f"got {self.predictor!r}")
+        if self.cache_policy not in LIVE_CACHE_POLICIES:
+            raise ValueError(f"cache_policy must be one of "
+                             f"{LIVE_CACHE_POLICIES} in the live path, "
+                             f"got {self.cache_policy!r}")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive")
+        if self.replication_budget < 0:
+            raise ValueError("replication_budget must be non-negative")
+        if self.replication_interval < 1:
+            raise ValueError("replication_interval must be positive")
+        if self.window_size < 1:
+            raise ValueError("window_size must be positive")
+
+
+class DecodePrefetcher:
+    """Accounting-only prefetch + replication sidecar for the live engines.
+
+    Attached through ``prefetch=`` on
+    :class:`~repro.serving.engine.LiveDecodeEngine` and
+    :class:`~repro.serving.scheduler.ContinuousBatchingEngine`.  Every
+    engine iteration feeds :meth:`observe_records` with that forward's
+    routing records; the sidecar never touches the model, the KV caches,
+    or the ids buffer, so generated tokens are bit-identical with the
+    sidecar on or off.
+
+    Telemetry (when the engine carries a registry): the
+    ``serve.prefetch_accuracy`` / ``serve.prefetch_hit_rate`` /
+    ``serve.prefetch_replicas`` gauges and the
+    ``serve.prefetch_{predicted,correct,hidden_bytes,unhidden_bytes,
+    remote_bytes}`` counters.  A replication pass that promotes experts
+    emits one ``prefetch_replication`` event into the engine's event log.
+    """
+
+    def __init__(self, config: MoEModelConfig, prefetch: PrefetchConfig,
+                 telemetry=None, event_log=None, placement=None):
+        self.config = config
+        self.prefetch = prefetch
+        self.telemetry = telemetry
+        self.event_log = event_log
+        capacity = prefetch.cache_capacity
+        if capacity is None:
+            capacity = max(config.total_experts // 2, 1)
+        self.scheduler = OverlappedFetchScheduler(
+            config,
+            predictor=make_predictor(prefetch.predictor, config),
+            cache=ExpertCache(capacity, policy=prefetch.cache_policy),
+            serving=prefetch.serving,
+            placement=placement,
+            topology=prefetch.topology,
+            local_worker=prefetch.local_worker,
+            price_config=prefetch.model_config)
+        self._targets: List = []
+        self._steps = 0
+        self._window = None
+        if prefetch.replication_budget > 0:
+            from ..placement.replan import RoutingWindow
+            self._window = RoutingWindow(prefetch.window_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> PrefetchStats:
+        """The scheduler's cumulative speculation statistics."""
+        return self.scheduler.stats
+
+    @property
+    def cache(self) -> ExpertCache:
+        """The modeled device-resident expert cache."""
+        return self.scheduler.cache
+
+    @property
+    def placement(self):
+        """The placement fetches are currently priced against."""
+        return self.scheduler.placement
+
+    def bind(self, target) -> None:
+        """Register a ``swap_placement``-capable replication target."""
+        self._targets.append(target)
+
+    # ------------------------------------------------------------------ #
+    def observe_records(self, records: Sequence
+                        ) -> Optional[StepFetchReport]:
+        """Digest one engine iteration's routing records.
+
+        Returns the step's :class:`StepFetchReport` (None for an empty
+        record list).
+        """
+        records = list(records)
+        if not records:
+            return None
+        needed = [set(map(int, np.unique(record.expert_indices)))
+                  for record in records]
+        tokens = records[0].num_tokens
+        report = self.scheduler.step(needed, tokens=tokens)
+        self._steps += 1
+
+        telemetry = self.telemetry
+        if telemetry is not None:
+            stats = self.scheduler.stats
+            telemetry.gauge("serve.prefetch_accuracy").set(stats.accuracy)
+            telemetry.gauge("serve.prefetch_hit_rate").set(
+                self.cache.stats.hit_rate)
+            telemetry.counter("serve.prefetch_predicted").add(
+                float(report.predicted))
+            telemetry.counter("serve.prefetch_correct").add(
+                float(report.correct))
+            telemetry.counter("serve.prefetch_hidden_bytes").add(
+                report.hidden_bytes)
+            telemetry.counter("serve.prefetch_unhidden_bytes").add(
+                report.unhidden_bytes)
+            telemetry.counter("serve.prefetch_remote_bytes").add(
+                report.remote_bytes)
+
+        if self._window is not None:
+            num_experts = self.config.num_experts
+            counts = np.stack([record.access_counts(num_experts)
+                               for record in records])
+            self._window.observe(counts)
+            if self._steps % self.prefetch.replication_interval == 0:
+                self._maybe_replicate()
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _maybe_replicate(self) -> None:
+        """Promote persistently-hot experts onto the local worker.
+
+        Freezes the current primary assignment and lets
+        :class:`~repro.placement.replication.ReplicationStrategy` spend
+        ``replication_budget`` spare slots on ``local_worker`` against
+        the routing window — replicas land only where they reduce the
+        windowed bottleneck, and the resulting
+        :class:`~repro.placement.replication.ReplicatedPlacement` is
+        hot-swapped into every bound engine (and, through them, the
+        monitor) at the next iteration boundary.
+        """
+        from ..placement.replication import (FrozenPlacementStrategy,
+                                             ReplicatedPlacement,
+                                             ReplicationStrategy)
+        prefetch = self.prefetch
+        placement = self.scheduler.placement
+        topology = prefetch.topology
+        if placement is None or topology is None or len(self._window) == 0:
+            return
+        primary = placement.primary \
+            if isinstance(placement, ReplicatedPlacement) else placement
+        loads = primary.worker_loads(topology.num_workers)
+        capacities = [int(load) for load in loads]
+        capacities[prefetch.local_worker] += prefetch.replication_budget
+        strategy = ReplicationStrategy(
+            base=FrozenPlacementStrategy(primary),
+            max_replicas=prefetch.replication_budget)
+        report = strategy.solve_from_window(self.config, topology,
+                                            self._window,
+                                            capacities=capacities)
+        replicated = report.placement
+        old_replicas = placement.replicas \
+            if isinstance(placement, ReplicatedPlacement) else {}
+        if replicated.num_replicas == 0 or replicated.replicas == old_replicas:
+            return
+        # Price the fetches against the new holders immediately (the
+        # sidecar is accounting-only); engines apply the swap at their
+        # next iteration boundary through the standard staged hook.
+        self.scheduler.set_placement(replicated)
+        for target in self._targets:
+            target.swap_placement(replicated)
+        if self.telemetry is not None:
+            self.telemetry.gauge("serve.prefetch_replicas").set(
+                float(replicated.num_replicas))
+        if self.event_log is not None:
+            from ..telemetry.events import MonitorEvent
+            keys = sorted(replicated.replicas)
+            self.event_log.emit(MonitorEvent(
+                kind="prefetch_replication", severity="info",
+                step=self._steps, time_unix=time.time(),
+                message=f"replicated {replicated.num_replicas} hot experts "
+                        f"onto worker {prefetch.local_worker}",
+                labels={"replicas": replicated.num_replicas,
+                        "experts": [list(key) for key in keys],
+                        "improvement": report.improvement,
+                        "bytes": float(replicated.num_replicas
+                                       * self.config.expert_nbytes())}))

@@ -230,8 +230,11 @@ class ContinuousBatchingEngine(LiveEngineBase):
     ``telemetry``/``monitor``.  Additional here: ``max_slots`` (KV pool
     size = max concurrent requests), ``admission``, ``eos_token_id``,
     ``max_len`` (per-slot cache length, default the model's
-    ``max_seq_len``), and ``events`` (a :class:`~repro.telemetry.events.
-    EventLog` receiving ``request_admit`` / ``request_evict`` events).
+    ``max_seq_len``), ``events`` (a :class:`~repro.telemetry.events.
+    EventLog` receiving ``request_admit`` / ``request_evict`` events),
+    and ``prefetch`` (a :class:`~repro.serving.prefetch.PrefetchConfig`
+    attaching the predictive prefetch + hot-expert replication sidecar —
+    accounting only, generated ids are unchanged).
 
     With ``telemetry=``, the run feeds ``serve.queueing_s``,
     ``serve.ttft_s``, ``serve.token_latency_s`` and
@@ -248,15 +251,16 @@ class ContinuousBatchingEngine(LiveEngineBase):
                  executor=None, weight_format: str = "native",
                  eos_token_id: Optional[int] = None,
                  admission: str = "fcfs",
-                 max_len: Optional[int] = None):
+                 max_len: Optional[int] = None,
+                 prefetch=None):
         if admission not in ADMISSION_POLICIES:
             raise ValueError(f"admission must be one of "
                              f"{ADMISSION_POLICIES}, got {admission!r}")
         super().__init__(model, dispatch=dispatch, telemetry=telemetry,
                          monitor=monitor, executor=executor,
-                         weight_format=weight_format)
+                         weight_format=weight_format, events=events,
+                         prefetch=prefetch)
         self.max_slots = int(max_slots)
-        self.events = events
         self.eos_token_id = eos_token_id
         self.admission = admission
         self.max_len = model.config.max_seq_len if max_len is None \
@@ -318,12 +322,17 @@ class ContinuousBatchingEngine(LiveEngineBase):
 
         telemetry = self.telemetry
         monitor = self.monitor
+        prefetcher = self.prefetcher
         num_experts = self.model.config.num_experts
 
         def observe_routing() -> None:
+            if monitor is None and prefetcher is None:
+                return
+            records = self.model.routing_records()
             if monitor is not None:
-                monitor.observe_records(self.model.routing_records(),
-                                        num_experts=num_experts)
+                monitor.observe_records(records, num_experts=num_experts)
+            if prefetcher is not None:
+                prefetcher.observe_records(records)
 
         def set_gauges() -> None:
             if telemetry is not None:

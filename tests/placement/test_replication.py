@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.placement import (LocalityAwarePlacement, Placement,
-                             PlacementProblem, ReplicatedPlacement,
-                             ReplicationStrategy, expected_step_comm_time,
+from repro.placement import (FrozenPlacementStrategy, LocalityAwarePlacement,
+                             Placement, PlacementProblem,
+                             ReplicatedPlacement, ReplicationStrategy,
+                             expected_step_comm_time,
                              expected_step_comm_time_replicated)
 
 
@@ -123,3 +124,33 @@ class TestReplicationStrategy:
     def test_validation(self):
         with pytest.raises(ValueError):
             ReplicationStrategy(max_replicas=-1)
+
+
+class TestFrozenPlacementStrategy:
+    def test_returns_the_frozen_placement(self, primary, small_problem):
+        assert FrozenPlacementStrategy(primary).place(small_problem) \
+            is primary
+
+    def test_rejects_mismatched_dimensions(self, small_problem):
+        wrong = Placement(np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            FrozenPlacementStrategy(wrong).place(small_problem)
+
+    def test_replication_on_frozen_base_keeps_primary(self, nano_config,
+                                                      small_topology,
+                                                      small_probability):
+        primary = Placement(np.array([[0, 1, 2, 3], [0, 1, 2, 3]]))
+        problem = PlacementProblem(config=nano_config,
+                                   topology=small_topology,
+                                   probability_matrix=small_probability,
+                                   tokens_per_step=512,
+                                   capacities=[4, 2, 2, 2])
+        report = ReplicationStrategy(base=FrozenPlacementStrategy(primary),
+                                     max_replicas=2).solve(problem)
+        np.testing.assert_array_equal(
+            report.placement.primary.assignment, primary.assignment)
+
+    def test_replicated_placement_exposes_primary_assignment(
+            self, primary, bandwidths):
+        rp = ReplicatedPlacement(primary, {(0, 0): [1]}, bandwidths)
+        np.testing.assert_array_equal(rp.assignment, primary.assignment)

@@ -1,0 +1,188 @@
+"""Tests for the expert cache: edge cases, policies, and shared helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import POLICIES, CacheStats, ExpertCache, hot_expert_keys
+from repro.serving.cache import safe_ratio
+
+
+class TestValidation:
+    def test_capacity_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=0)
+
+    def test_capacity_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=-3)
+
+    def test_unknown_policy_rejected(self):
+        assert POLICIES == ("lru", "lfu", "pinned", "belady")
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=4, policy="mru")
+
+    def test_pinned_set_requires_pinned_policy(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=4, policy="lru", pinned={(0, 0)})
+
+    def test_pinned_set_must_fit_capacity(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=1, policy="pinned",
+                        pinned={(0, 0), (0, 1)})
+
+    def test_belady_requires_lookahead(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=4, policy="belady")
+
+    def test_lookahead_requires_belady(self):
+        with pytest.raises(ValueError):
+            ExpertCache(capacity=4, policy="lru", lookahead=[(0, 0)])
+
+
+class TestCapacityOne:
+    """The degenerate single-slot cache must thrash, not crash."""
+
+    def test_alternating_keys_thrash(self):
+        cache = ExpertCache(capacity=1)
+        for _ in range(4):
+            assert cache.access((0, 0)) is False
+            assert cache.access((0, 1)) is False
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 8
+        assert cache.stats.evictions == 7  # every admit after the first
+        assert len(cache.resident) == 1
+
+    def test_repeated_key_hits(self):
+        cache = ExpertCache(capacity=1)
+        assert cache.access((3, 5)) is False
+        assert cache.access((3, 5)) is True
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = ExpertCache(capacity=2)
+        cache.access((0, 0))
+        cache.access((0, 1))
+        cache.access((0, 0))  # refresh (0, 0); (0, 1) is now LRU
+        cache.access((0, 2))
+        assert (0, 1) not in cache
+        assert cache.resident == {(0, 0), (0, 2)}
+
+
+class TestLFU:
+    def test_frequency_protects_hot_key(self):
+        cache = ExpertCache(capacity=2, policy="lfu")
+        for _ in range(3):
+            cache.access((0, 0))
+        cache.access((0, 1))
+        cache.access((0, 2))  # must evict the cold (0, 1)
+        assert (0, 0) in cache
+        assert (0, 1) not in cache
+
+    def test_tie_break_is_deterministic_lowest_key(self):
+        """Equal frequencies: the smallest key loses, every time."""
+        for _ in range(5):
+            cache = ExpertCache(capacity=2, policy="lfu")
+            cache.access((0, 1))
+            cache.access((0, 0))  # same frequency as (0, 1)
+            cache.access((0, 2))
+            assert (0, 0) not in cache
+            assert cache.resident == {(0, 1), (0, 2)}
+
+
+class TestPinned:
+    def test_pinned_keys_survive_thrash(self):
+        cache = ExpertCache(capacity=2, policy="pinned", pinned={(0, 9)})
+        for e in range(5):
+            cache.access((0, e))
+        assert (0, 9) in cache
+
+    def test_all_pinned_cannot_admit(self):
+        cache = ExpertCache(capacity=1, policy="pinned", pinned={(0, 0)})
+        with pytest.raises(RuntimeError):
+            cache.access((0, 1))
+
+
+class TestBelady:
+    def test_oracle_beats_lru_on_crafted_sequence(self):
+        a, b, c = (0, 0), (0, 1), (0, 2)
+        sequence = [a, b, c, a, b, c]
+        lru = ExpertCache(capacity=2)
+        oracle = ExpertCache(capacity=2, policy="belady",
+                             lookahead=sequence)
+        for key in sequence:
+            lru.access(key)
+            oracle.access(key)
+        assert lru.stats.misses == 6      # pure thrash
+        assert oracle.stats.misses == 4   # keeps the sooner-reused key
+
+    def test_evicts_never_reused_key_first(self):
+        hot, cold = (0, 0), (0, 1)
+        sequence = [cold, hot, hot, (0, 2), hot]
+        cache = ExpertCache(capacity=2, policy="belady",
+                            lookahead=sequence)
+        for key in sequence[:4]:
+            cache.access(key)
+        # cold is never accessed again -> it is the furthest-use victim
+        assert cold not in cache
+        assert hot in cache
+
+    def test_infinite_tie_breaks_toward_larger_key(self):
+        sequence = [(0, 0), (0, 1), (0, 2)]  # nothing is ever reused
+        cache = ExpertCache(capacity=2, policy="belady",
+                            lookahead=sequence)
+        for key in sequence:
+            cache.access(key)
+        assert cache.resident == {(0, 0), (0, 2)}
+
+    def test_access_consumes_scheduled_positions(self):
+        key = (0, 0)
+        cache = ExpertCache(capacity=2, policy="belady",
+                            lookahead=[key, key])
+        cache.access(key)
+        assert cache._next_use(key) == 1.0
+        cache.access(key)
+        assert cache._next_use(key) == math.inf
+
+
+class TestSafeRatio:
+    def test_zero_denominator(self):
+        assert safe_ratio(0, 0) == 0.0
+        assert safe_ratio(5, 0) == 0.0
+
+    def test_plain_division(self):
+        assert safe_ratio(1, 2) == 0.5
+
+    def test_cache_stats_route_through_it(self):
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats(hits=3, misses=1).hit_rate == 0.75
+
+
+class TestHotExpertKeys:
+    def matrix(self):
+        return np.array([[0.9, 0.1],
+                         [0.5, 0.7]])
+
+    def test_budget_zero_is_empty(self):
+        assert hot_expert_keys(self.matrix(), 0) == set()
+
+    def test_budget_exact_takes_everything(self):
+        keys = hot_expert_keys(self.matrix(), 4)
+        assert keys == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_budget_over_total_is_clamped(self):
+        assert hot_expert_keys(self.matrix(), 100) == \
+            hot_expert_keys(self.matrix(), 4)
+
+    def test_budget_one_picks_global_maximum(self):
+        assert hot_expert_keys(self.matrix(), 1) == {(0, 0)}
+
+    def test_ordering_by_probability(self):
+        assert hot_expert_keys(self.matrix(), 2) == {(0, 0), (1, 1)}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            hot_expert_keys(self.matrix(), -1)

@@ -3,11 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.models import nano_moe
+from repro.models import build_model, nano_moe
+from repro.models.moe_block import BlockRoutingRecord
+from repro.placement import Placement
 from repro.routing import SyntheticRouter, UNIFORM_REGIME, WIKITEXT_REGIME
-from repro.serving import DecodeSimulator, ExpertCache
-from repro.serving.prefetch import (PrefetchingDecodeSimulator,
-                                    SpeculativePrefetcher)
+from repro.serving import (DecodeSimulator, ExpertCache, LiveDecodeEngine,
+                           ServingConfig)
+from repro.serving.prefetch import (LIVE_CACHE_POLICIES, PREDICTORS,
+                                    DecodePrefetcher, OraclePredictor,
+                                    OverlappedFetchScheduler, PrefetchConfig,
+                                    PrefetchingDecodeSimulator,
+                                    PreviousTokenPredictor,
+                                    SpeculativePrefetcher,
+                                    TransitionPredictor, make_predictor,
+                                    markov_decode_stream, replay_stream,
+                                    stream_lookahead)
+from repro.telemetry import EventLog, Telemetry
 
 
 class TestSpeculativePrefetcher:
@@ -69,3 +80,317 @@ class TestPrefetchingDecode:
     def test_validation(self):
         with pytest.raises(ValueError):
             self.make(WIKITEXT_REGIME, capacity=4).run(0)
+
+
+class TestPredictors:
+    def test_previous_token_returns_fresh_copies(self):
+        current = [{0, 1}, {2}]
+        predicted = PreviousTokenPredictor().predict(current)
+        assert predicted == current
+        assert predicted[0] is not current[0]
+
+    def test_transition_cold_start_is_previous_token(self):
+        predictor = TransitionPredictor(num_layers=2, num_experts=4)
+        assert predictor.predict([{1, 3}, {0}]) == [{1, 3}, {0}]
+
+    def test_transition_learns_a_cycle(self):
+        predictor = TransitionPredictor(num_layers=1, num_experts=4)
+        cycle = [{0}, {1}, {2}, {3}]
+        for _ in range(3):
+            for i in range(4):
+                predictor.update([cycle[i]], [cycle[(i + 1) % 4]])
+        for i in range(4):
+            assert predictor.predict([cycle[i]]) == [cycle[(i + 1) % 4]]
+
+    def test_transition_budget_matches_current_set(self):
+        predictor = TransitionPredictor(num_layers=1, num_experts=8)
+        for prev, cur in [({0, 1}, {2, 3}), ({2, 3}, {4, 5})]:
+            predictor.update([prev], [cur])
+        assert len(predictor.predict([{0, 1}])[0]) == 2
+        assert predictor.predict([set()]) == [set()]
+
+    def test_transition_ties_break_toward_lowest_id(self):
+        predictor = TransitionPredictor(num_layers=1, num_experts=4)
+        predictor.update([{0}], [{1, 2, 3}])  # equal evidence for 1, 2, 3
+        assert predictor.predict([{0}]) == [{1}]
+
+    def test_transition_validation(self):
+        with pytest.raises(ValueError):
+            TransitionPredictor(num_layers=0, num_experts=4)
+        with pytest.raises(ValueError):
+            TransitionPredictor(num_layers=2, num_experts=0)
+
+    def test_oracle_reads_ahead_and_runs_dry(self):
+        stream = [[{0}], [{1}], [{2}]]
+        oracle = OraclePredictor(stream)
+        assert oracle.predict([{0}]) == [{1}]
+        assert oracle.predict([{1}]) == [{2}]
+        assert oracle.predict([{2}]) == [set()]  # past the end
+
+    def test_make_predictor(self):
+        config = nano_moe()
+        assert isinstance(make_predictor("transition", config),
+                          TransitionPredictor)
+        assert isinstance(make_predictor("previous", config),
+                          PreviousTokenPredictor)
+        with pytest.raises(ValueError):
+            make_predictor("oracle", config)  # offline-only
+
+
+class TestOverlappedFetchScheduler:
+    def make(self, predictor, capacity=16, **kwargs):
+        config = nano_moe()
+        return OverlappedFetchScheduler(config, predictor,
+                                        ExpertCache(capacity), **kwargs)
+
+    def test_off_baseline_pays_every_miss_synchronously(self):
+        scheduler = self.make(predictor=None)
+        first = scheduler.step([{0, 1}, {2}])
+        assert first.sync_fetches == 3
+        assert first.predicted == 0 and first.prefetch_fetches == 0
+        assert first.latency_s > first.compute_s
+        second = scheduler.step([{0, 1}, {2}])  # all resident now
+        assert second.sync_fetches == 0
+        assert second.latency_s == pytest.approx(second.compute_s)
+
+    def test_correct_prediction_removes_sync_fetches(self):
+        stream = [[{0}], [{1}], [{2}]]
+        scheduler = self.make(OraclePredictor(stream))
+        scheduler.step(stream[0])
+        report = scheduler.step(stream[1])
+        assert report.correct == 1
+        assert report.sync_fetches == 0  # the oracle prefetched it
+
+    def test_pending_bytes_split_hidden_plus_unhidden(self):
+        stream = [[{0}], [{1}], [{2}]]
+        scheduler = self.make(OraclePredictor(stream))
+        scheduler.step(stream[0])  # issues one prefetch for expert 1
+        nbytes = scheduler._fetch_nbytes
+        report = scheduler.step(stream[1])
+        assert report.hidden_bytes + report.unhidden_bytes == \
+            pytest.approx(nbytes)
+        assert report.latency_s >= report.compute_s
+
+    def test_tokens_scale_the_compute_window(self):
+        one = self.make(predictor=None).step([{0}], tokens=1)
+        many = self.make(predictor=None).step([{0}], tokens=32)
+        assert many.compute_s == pytest.approx(32 * one.compute_s)
+
+    def test_stats_accumulate_across_steps(self):
+        scheduler = self.make(PreviousTokenPredictor())
+        for _ in range(4):
+            scheduler.step([{0, 1}, {2, 3}])
+        stats = scheduler.stats
+        assert stats.steps == 4
+        assert stats.predicted == 16  # 4 experts speculated every step
+        assert stats.correct == 12    # steps 2-4 scored; the stream never moves
+        assert stats.accuracy == 0.75
+
+    def test_remote_holder_prices_the_cluster_link(self, small_topology):
+        config = nano_moe()
+        shape = (config.num_layers, config.num_experts)
+        remote = Placement(np.ones(shape, dtype=np.int64))
+        local = Placement(np.zeros(shape, dtype=np.int64))
+        kwargs = dict(topology=small_topology, local_worker=0)
+        far = self.make(predictor=None, placement=remote, **kwargs)
+        near = self.make(predictor=None, placement=local, **kwargs)
+        far_report = far.step([{0, 1}])
+        near_report = near.step([{0, 1}])
+        assert far_report.remote_bytes == pytest.approx(
+            2 * far._fetch_nbytes)
+        assert near_report.remote_bytes == 0.0
+        assert far_report.latency_s > near_report.latency_s
+
+    def test_set_placement_swaps_pricing(self, small_topology):
+        config = nano_moe()
+        shape = (config.num_layers, config.num_experts)
+        scheduler = self.make(predictor=None,
+                              placement=Placement(np.ones(shape,
+                                                          dtype=np.int64)),
+                              topology=small_topology, local_worker=0)
+        scheduler.step([{0}])
+        assert scheduler.stats.remote_bytes > 0
+        scheduler.set_placement(Placement(np.zeros(shape, dtype=np.int64)))
+        before = scheduler.stats.remote_bytes
+        scheduler.step([{1}])  # a fresh miss, now held locally
+        assert scheduler.stats.remote_bytes == before
+
+
+class TestMarkovDecodeStream:
+    def test_deterministic_under_seed(self):
+        config = nano_moe()
+        assert markov_decode_stream(config, 20, seed=3) == \
+            markov_decode_stream(config, 20, seed=3)
+
+    def test_set_sizes_stay_top_k(self):
+        config = nano_moe()
+        stream = markov_decode_stream(config, 50, seed=1)
+        assert len(stream) == 50
+        for step in stream:
+            assert len(step) == config.num_layers
+            assert all(len(layer) == config.top_k for layer in step)
+
+    def test_validation(self):
+        config = nano_moe()
+        with pytest.raises(ValueError):
+            markov_decode_stream(config, 0)
+        with pytest.raises(ValueError):
+            markov_decode_stream(config, 10, advance_prob=0.8,
+                                 resample_prob=0.3)
+        with pytest.raises(ValueError):
+            markov_decode_stream(config, 10, advance_prob=-0.1)
+
+    def test_transition_beats_previous_on_advance_dominant_stream(self):
+        """The headline property the benchmark gates on, at unit scale."""
+        config = nano_moe()
+        stream = markov_decode_stream(config, 300, advance_prob=0.7,
+                                      resample_prob=0.0, seed=1)
+
+        def run(predictor):
+            scheduler = OverlappedFetchScheduler(
+                config, predictor, ExpertCache(config.total_experts))
+            replay_stream(stream, scheduler)
+            return scheduler.stats
+
+        learned = run(TransitionPredictor(config.num_layers,
+                                          config.num_experts))
+        baseline = run(PreviousTokenPredictor())
+        assert learned.accuracy > baseline.accuracy
+
+
+class TestStreamLookahead:
+    def test_matches_replay_access_order(self):
+        config = nano_moe()
+        stream = markov_decode_stream(config, 10, seed=2)
+        lookahead = stream_lookahead(stream)
+        assert len(lookahead) == sum(
+            len({(l, e) for l, layer in enumerate(step) for e in layer})
+            for step in stream)
+        expected = [(l, e) for step in stream
+                    for l, e in sorted({(l, int(e))
+                                        for l, layer in enumerate(step)
+                                        for e in layer})]
+        assert lookahead == expected
+
+    def test_belady_hit_rate_bounds_lru(self):
+        config = nano_moe()
+        stream = markov_decode_stream(config, 120, seed=4)
+        capacity = 3
+        lru = OverlappedFetchScheduler(config, None, ExpertCache(capacity))
+        oracle = OverlappedFetchScheduler(
+            config, None, ExpertCache(capacity, policy="belady",
+                                      lookahead=stream_lookahead(stream)))
+        lru_metrics = replay_stream(stream, lru)
+        oracle_metrics = replay_stream(stream, oracle)
+        assert oracle_metrics.hit_rate >= lru_metrics.hit_rate
+
+
+class TestPrefetchConfig:
+    def test_defaults_are_valid(self):
+        config = PrefetchConfig()
+        assert config.predictor in PREDICTORS
+        assert config.cache_policy in LIVE_CACHE_POLICIES
+
+    def test_oracle_rejected_in_live_path(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(predictor="oracle")
+
+    def test_belady_rejected_in_live_path(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(cache_policy="belady")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cache_capacity": 0},
+        {"replication_budget": -1},
+        {"replication_interval": 0},
+        {"window_size": 0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PrefetchConfig(**kwargs)
+
+
+class TestDecodePrefetcherLive:
+    def test_ids_bit_identical_with_prefetch_on_and_off(self, nano_model):
+        prompt = np.array([[1, 2, 3], [7, 5, 9]])
+        plain = LiveDecodeEngine(nano_model).decode(prompt, 12)
+        engine = LiveDecodeEngine(nano_model, prefetch=PrefetchConfig())
+        np.testing.assert_array_equal(engine.decode(prompt, 12), plain)
+        assert engine.prefetcher.stats.steps > 0
+
+    def test_non_config_prefetch_rejected(self, nano_model):
+        with pytest.raises(TypeError):
+            LiveDecodeEngine(nano_model, prefetch={"predictor": "previous"})
+
+    def test_telemetry_emitted(self, nano_model):
+        telemetry = Telemetry()
+        engine = LiveDecodeEngine(nano_model, telemetry=telemetry,
+                                  prefetch=PrefetchConfig())
+        engine.decode(np.array([[1, 2, 3]]), 8)
+        assert telemetry.counter_total("serve.prefetch_predicted") > 0
+        assert 0.0 <= telemetry.gauge("serve.prefetch_hit_rate").value <= 1.0
+
+    def test_default_capacity_is_half_the_experts(self, nano_model):
+        engine = LiveDecodeEngine(nano_model, prefetch=PrefetchConfig())
+        assert engine.prefetcher.cache.capacity == \
+            nano_model.config.total_experts // 2
+
+
+class _SwapTarget:
+    """Records swap_placement calls like an engine would."""
+
+    def __init__(self):
+        self.swapped = []
+
+    def swap_placement(self, placement):
+        self.swapped.append(placement)
+
+
+class TestReplicationSidecar:
+    def make_prefetcher(self, topology, events=None):
+        config = nano_moe()
+        shape = (config.num_layers, config.num_experts)
+        # Every expert off-worker-0: replication has something to win.
+        placement = Placement(np.tile([1, 1, 2, 2], (shape[0], 1)))
+        prefetch = PrefetchConfig(topology=topology, local_worker=0,
+                                  replication_budget=2,
+                                  replication_interval=2, window_size=8)
+        return config, DecodePrefetcher(config, prefetch, event_log=events,
+                                        placement=placement)
+
+    def hot_records(self, config):
+        indices = np.array([[0, 1]] * 4)  # 4 tokens, experts 0 and 1
+        return [BlockRoutingRecord(layer=layer, expert_indices=indices,
+                                   selected_scores=np.ones((4, 2)))
+                for layer in range(config.num_layers)]
+
+    def test_persistently_hot_experts_get_replicated(self, small_topology):
+        events = EventLog()
+        config, prefetcher = self.make_prefetcher(small_topology, events)
+        target = _SwapTarget()
+        prefetcher.bind(target)
+        for _ in range(4):
+            prefetcher.observe_records(self.hot_records(config))
+        placement = prefetcher.placement
+        assert getattr(placement, "num_replicas", 0) > 0
+        # Replicas land only on the local worker (the budgeted slots).
+        assert all(workers == [0]
+                   for workers in placement.replicas.values())
+        assert target.swapped and target.swapped[-1] is placement
+        kinds = [event.kind for event in events.events]
+        assert "prefetch_replication" in kinds
+
+    def test_unchanged_replica_set_is_not_reswapped(self, small_topology):
+        config, prefetcher = self.make_prefetcher(small_topology)
+        target = _SwapTarget()
+        prefetcher.bind(target)
+        for _ in range(8):
+            prefetcher.observe_records(self.hot_records(config))
+        # Steady traffic: the replica set converges and later passes
+        # must not re-stage an identical swap every interval.
+        assert len(target.swapped) < 4
+
+    def test_no_budget_means_no_window(self, small_topology):
+        config = nano_moe()
+        prefetcher = DecodePrefetcher(config, PrefetchConfig())
+        assert prefetcher._window is None

@@ -150,6 +150,20 @@ CHECKS = {
     # unprofitable shift declined) are hard gates; the measured
     # cross-node drop carries the band, and the break-even point must
     # stay within the committed run's remaining-steps budget.
+    # Predictive prefetch: the replay is fully modeled (seeded stream,
+    # FlopModel compute, bandwidth-priced fetches), so every gate that
+    # could regress is a correctness bug, not jitter — both bit-identity
+    # booleans, the transition-beats-previous accuracy/bytes wins, and
+    # the live replication pass firing are exact; only the modeled
+    # speedup carries the tolerance band.
+    "prefetch": (
+        Check("headline.ids_identical_live", "exact"),
+        Check("headline.ids_identical_batch", "exact"),
+        Check("headline.transition_beats_previous", "exact"),
+        Check("headline.transition_reduces_unhidden", "exact"),
+        Check("headline.replication_applied", "exact"),
+        Check("headline.speedup", "higher"),
+    ),
     "replacement": (
         Check("headline.applied", "exact"),
         Check("headline.cross_node_drop", "higher"),
