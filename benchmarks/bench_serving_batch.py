@@ -14,7 +14,11 @@ Acceptance gates (hard, also enforced by ``--strict`` and CI):
   single-stream decoding of the same workload,
 * a single request through the slot pool is greedy-bit-identical to
   ``LiveDecodeEngine.decode(mode="cached")``,
-* every request of the batched headline run matches its solo decode.
+* every request of the batched headline run matches its solo decode,
+* request tracing (``tracing=``/``flight=``) is accounting-only: ids
+  bit-identical with the full observability stack attached on both live
+  engines, per-request ledgers tile the ``serve.prefetch_*`` counters,
+  and the hooks-disabled serve loop costs <2% over plain construction.
 
 Run standalone for the JSON artifact::
 
@@ -57,6 +61,19 @@ SLO_TOKEN_LATENCY_S = 0.25
 SWEEP_SLOTS = (1, 2, 4, 8)
 SWEEP_RATES = (16.0, 64.0)  # requests/s into the open-loop stream
 MAX_SEQ_LEN = 64
+
+# Request-tracing gates (the `tracing` payload section, CI kind `tracing`):
+# generated ids must be bit-identical with tracing on vs off on both live
+# engines, per-request attributed bytes must tile the aggregate counters,
+# and the tracing-disabled serve loop may cost at most 2% over baseline.
+TRACING_MAX_OVERHEAD = 0.02
+TRACING_TILE_REL_TOL = 1e-9
+# field attributed by RequestTracer -> aggregate counter the engines feed
+TRACING_COUNTERS = {
+    "prefetch_hidden_bytes": "serve.prefetch_hidden_bytes",
+    "prefetch_unhidden_bytes": "serve.prefetch_unhidden_bytes",
+    "prefetch_remote_bytes": "serve.prefetch_remote_bytes",
+}
 
 
 def _model():
@@ -183,6 +200,126 @@ def measure_rate_sweep(rates=SWEEP_RATES, slots=HEADLINE_SLOTS) -> list:
     return rows
 
 
+def measure_tracing(iters: int = 2) -> dict:
+    """Request-tracing acceptance: bit-identity, byte tiling, overhead.
+
+    Tracing is accounting-only, so every gate here is correctness rather
+    than throughput: the live single-stream engine and the slot-pool
+    engine must generate bit-identical ids with tracing + flight recording
+    attached, the per-request ledgers must tile the aggregate
+    ``serve.prefetch_*`` counters (the tracer's in-order mirror equals the
+    counters bitwise; the cross-ledger sum may differ from the mirror only
+    by float summation order, bounded at ``TRACING_TILE_REL_TOL``
+    relative), and the disabled path — tracing hooks present but ``None``,
+    the shipping default — must cost at most ``TRACING_MAX_OVERHEAD``
+    over the plain construction.  The overhead run interleaves the two
+    arms A B B A per iteration and takes min-of-samples, so thermal drift
+    lands on both arms instead of masquerading as a regression.
+    """
+    from repro.serving.prefetch import PrefetchConfig
+    from repro.telemetry import (FlightRecorder, RequestTracer, SLOConfig,
+                                 Telemetry)
+
+    requests = _burst_requests(num=6, prompt_len=8, decode=8, seed=11)
+    slots = 4
+
+    # Live single-stream engine: traced decode vs plain decode.
+    prompt = requests[0].prompt_ids[None, :]
+    plain_ids = LiveDecodeEngine(_model()).decode(prompt, 8)
+    traced_ids = LiveDecodeEngine(
+        _model(), tracing=RequestTracer(),
+        flight=FlightRecorder(capacity=32)).decode(prompt, 8)
+    ids_identical_live = bool(np.array_equal(plain_ids, traced_ids))
+
+    # Slot-pool engine: full observability stack vs plain serve.
+    baseline = ContinuousBatchingEngine(_model(),
+                                        max_slots=slots).serve(requests)
+    telemetry = Telemetry()
+    tracer = RequestTracer(telemetry=telemetry,
+                           slo=SLOConfig(ttft_s=60.0, token_latency_s=60.0,
+                                         min_requests=4))
+    traced = ContinuousBatchingEngine(
+        _model(), max_slots=slots, telemetry=telemetry, tracing=tracer,
+        flight=FlightRecorder(capacity=64),
+        prefetch=PrefetchConfig()).serve(requests)
+    ids_identical_batch = bool(
+        len(baseline.outcomes) == len(traced.outcomes)
+        and all(np.array_equal(a.token_ids, b.token_ids)
+                for a, b in zip(baseline.outcomes, traced.outcomes)))
+
+    # Ledger tiling: mirror == counter bitwise, ledger sums within the
+    # float-summation-order residual of the mirror, and bytes flowed.
+    tiling = {}
+    for field, counter in TRACING_COUNTERS.items():
+        mirror = tracer.totals.get(field, 0.0)
+        aggregate = telemetry.counter(counter).value
+        residual = abs(tracer.attribution_residual(field))
+        tiling[field] = {
+            "ledger_sum": tracer.attributed_total(field),
+            "mirror": mirror,
+            "counter": aggregate,
+            "mirror_matches_counter": mirror == aggregate,
+            "rel_residual": residual / max(abs(mirror), 1.0),
+        }
+    bytes_flowed = tiling["prefetch_hidden_bytes"]["counter"] > 0.0 \
+        or tiling["prefetch_unhidden_bytes"]["counter"] > 0.0
+    ledger_bytes_tile = bool(bytes_flowed and all(
+        cell["mirror_matches_counter"]
+        and cell["rel_residual"] <= TRACING_TILE_REL_TOL
+        for cell in tiling.values()))
+
+    # SLO burn-rate tracking observed every finished request and published
+    # its gauges.
+    slo_tracked = bool(
+        tracer.slo is not None
+        and tracer.slo.requests_observed == len(requests)
+        and telemetry.gauge("serve.slo_good_fraction").updates > 0)
+
+    # Disabled overhead: the hooks-off serve loop (explicit Nones — the
+    # same branch every untraced caller takes) vs plain construction,
+    # interleaved A B B A with min-of-samples, on the larger headline
+    # burst so the 2% gate sits well above timer jitter.
+    overhead_requests = _burst_requests()
+    plain_s, disabled_s = [], []
+    for index in range(4 * iters):
+        if index % 4 in (0, 3):
+            engine = ContinuousBatchingEngine(_model(),
+                                              max_slots=HEADLINE_SLOTS)
+            samples = plain_s
+        else:
+            engine = ContinuousBatchingEngine(_model(),
+                                              max_slots=HEADLINE_SLOTS,
+                                              tracing=None, flight=None)
+            samples = disabled_s
+        start = time.perf_counter()
+        engine.serve(overhead_requests)
+        samples.append(time.perf_counter() - start)
+    disabled_overhead = min(disabled_s) / min(plain_s) - 1.0
+
+    return {
+        "num_requests": len(requests),
+        "max_slots": slots,
+        "ids_identical_live": ids_identical_live,
+        "ids_identical_batch": ids_identical_batch,
+        "ledger_bytes_tile": ledger_bytes_tile,
+        "tiling": tiling,
+        "slo_tracked": slo_tracked,
+        "slo_burn_rate": tracer.slo.burn_rate("any"),
+        "disabled_overhead": disabled_overhead,
+        "max_overhead": TRACING_MAX_OVERHEAD,
+        "tile_rel_tolerance": TRACING_TILE_REL_TOL,
+    }
+
+
+def tracing_ok(tracing: dict) -> bool:
+    """True when every tracing acceptance gate passed."""
+    return bool(tracing["ids_identical_live"]
+                and tracing["ids_identical_batch"]
+                and tracing["ledger_bytes_tile"]
+                and tracing["slo_tracked"]
+                and tracing["disabled_overhead"] <= tracing["max_overhead"])
+
+
 # --------------------------------------------------------------------- #
 # pytest entry points
 # --------------------------------------------------------------------- #
@@ -220,6 +357,21 @@ def test_more_slots_do_not_hurt_throughput():
         rows[0]["throughput_tokens_per_s"]
 
 
+def test_tracing_gates():
+    """Acceptance: tracing bit-identity, byte tiling, bounded overhead."""
+    result = measure_tracing(iters=1)
+    print(f"\ntracing: ids live/batch "
+          f"{result['ids_identical_live']}/{result['ids_identical_batch']}, "
+          f"tiling {result['ledger_bytes_tile']}, disabled overhead "
+          f"{result['disabled_overhead']:+.2%} "
+          f"(limit {result['max_overhead']:.0%})")
+    assert result["ids_identical_live"], result
+    assert result["ids_identical_batch"], result
+    assert result["ledger_bytes_tile"], result["tiling"]
+    assert result["slo_tracked"], result
+    assert result["disabled_overhead"] <= result["max_overhead"], result
+
+
 # --------------------------------------------------------------------- #
 # standalone runner (JSON artifact)
 # --------------------------------------------------------------------- #
@@ -236,6 +388,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     headline = measure_headline(iters=1 if args.smoke else 2)
+    tracing = measure_tracing(iters=1 if args.smoke else 2)
     slots_sweep = [] if args.smoke else measure_slots_sweep()
     rate_sweep = [] if args.smoke else measure_rate_sweep()
 
@@ -271,17 +424,26 @@ def main(argv=None) -> int:
               f"{r['mean_ttft_ms']:.0f}",
               f"{r['p99_request_latency_ms']:.0f}"] for r in rate_sweep]))
 
+    print(f"\ntracing: ids live/batch "
+          f"{tracing['ids_identical_live']}/{tracing['ids_identical_batch']},"
+          f" ledger tiling {tracing['ledger_bytes_tile']}, slo "
+          f"{tracing['slo_tracked']}, disabled overhead "
+          f"{tracing['disabled_overhead']:+.2%} "
+          f"(limit {tracing['max_overhead']:.0%})")
+
     ok = (headline["throughput_ratio"] >= MIN_THROUGHPUT_RATIO
           and headline["single_request_identical"]
-          and headline["per_request_identical"])
-    payload = {"headline": headline, "slots_sweep": slots_sweep,
-               "rate_sweep": rate_sweep}
+          and headline["per_request_identical"]
+          and tracing_ok(tracing))
+    payload = {"headline": headline, "tracing": tracing,
+               "slots_sweep": slots_sweep, "rate_sweep": rate_sweep}
     if args.output is not None:
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     print(f"headline: {headline['throughput_ratio']:.1f}x "
           f"(required {MIN_THROUGHPUT_RATIO}x), equivalence "
           f"{'OK' if headline['single_request_identical'] and headline['per_request_identical'] else 'BROKEN'}"
+          f", tracing {'OK' if tracing_ok(tracing) else 'BROKEN'}"
           f" -> {'PASS' if ok else 'MISS'}")
     return 1 if (args.strict and not ok) else 0
 

@@ -118,7 +118,8 @@ class ExpertBroker:
 
     def __init__(self, config: MoEModelConfig, placement: Placement,
                  num_workers: int, telemetry: Optional[Telemetry] = None,
-                 monitor: Optional["RoutingHealthMonitor"] = None):
+                 monitor: Optional["RoutingHealthMonitor"] = None,
+                 tracer=None, local_worker: int = 0):
         if placement.num_layers != config.num_layers or \
                 placement.num_experts != config.num_experts:
             raise ValueError("placement shape does not match model config")
@@ -127,6 +128,12 @@ class ExpertBroker:
         self.num_workers = num_workers
         self.telemetry = telemetry
         self.monitor = monitor
+        # Request attribution: with a RequestTracer, every planned edge's
+        # bytes are also charged to the requests of the current traced
+        # step ("dispatch_bytes"; edges leaving local_worker additionally
+        # as "cross_node_dispatch_bytes").
+        self.tracer = tracer
+        self.local_worker = int(local_worker)
 
     def swap_placement(self, placement: Placement) -> None:
         """Hot-swap the active placement (online re-placement hook).
@@ -146,16 +153,26 @@ class ExpertBroker:
 
         ``counts`` is a ``(layers, experts)`` token-selection matrix (one
         step's, or a whole trace's summed); each nonzero cell increments the
-        ``broker.dispatch_bytes`` counter of the edge that carries it.
+        ``broker.dispatch_bytes`` counter of the edge that carries it, and —
+        with a tracer attached — charges the same bytes to the traced
+        step's requests (edges whose hosting worker is not ``local_worker``
+        also as cross-node bytes).
         """
         telemetry = self.telemetry
+        tracer = self.tracer
         token_bytes = self.config.token_feature_nbytes()
         assignment = self.placement.assignment
         for layer, expert in np.argwhere(counts > 0):
-            telemetry.counter(
-                "broker.dispatch_bytes", layer=int(layer), expert=int(expert),
-                worker=int(assignment[layer, expert]),
-            ).add(float(counts[layer, expert]) * token_bytes)
+            worker = int(assignment[layer, expert])
+            nbytes = float(counts[layer, expert]) * token_bytes
+            if telemetry is not None:
+                telemetry.counter(
+                    "broker.dispatch_bytes", layer=int(layer),
+                    expert=int(expert), worker=worker).add(nbytes)
+            if tracer is not None:
+                tracer.attribute("dispatch_bytes", nbytes)
+                if worker != self.local_worker:
+                    tracer.attribute("cross_node_dispatch_bytes", nbytes)
 
     def _publish_worker_load(self, tokens: np.ndarray) -> None:
         """Publish per-worker load gauges for one planned step.
@@ -184,7 +201,7 @@ class ExpertBroker:
         if step_counts.shape != expected:
             raise ValueError(f"step_counts shape {step_counts.shape} != {expected}")
         tokens = self.placement.tokens_per_worker(step_counts, self.num_workers)
-        if self.telemetry is not None:
+        if self.telemetry is not None or self.tracer is not None:
             self._record_dispatch_bytes(step_counts)
         if self.monitor is not None:
             self._publish_worker_load(tokens)
@@ -208,7 +225,7 @@ class ExpertBroker:
         x = self.placement.to_binary_tensor(self.num_workers)
         tokens = np.einsum("sle,nle->snl", trace_counts,
                            x.astype(np.int64), optimize=True)
-        if self.telemetry is not None:
+        if self.telemetry is not None or self.tracer is not None:
             self._record_dispatch_bytes(trace_counts.sum(axis=0))
         if self.monitor is not None and len(tokens) > 0:
             # Gauges are last-value: publishing the final step leaves the

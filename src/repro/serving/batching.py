@@ -22,6 +22,7 @@ import numpy as np
 from ..models.config import MoEModelConfig
 from ..routing.synthetic import SyntheticRouter
 from ..telemetry.instruments import Histogram
+from ..telemetry.tracing import mint_trace_id
 from .cache import ExpertCache
 from .engine import ServingConfig
 
@@ -36,6 +37,12 @@ class Request:
     the prompt.  ``decode_tokens`` is the generation budget — the live
     engine may finish earlier on EOS.  ``prompt_ids`` stays out of
     equality/ordering so workload lists still compare by timing.
+
+    Every request carries a ``trace_id`` minted at construction — the
+    request-scoped trace context the serving engines propagate through
+    admission → prefill → ragged decode → eviction (see
+    :class:`~repro.telemetry.tracing.RequestTracer`).  It stays out of
+    equality/repr for the same reason as ``prompt_ids``.
     """
 
     request_id: int
@@ -43,10 +50,13 @@ class Request:
     decode_tokens: int
     prompt_ids: Optional[np.ndarray] = field(default=None, compare=False,
                                              repr=False)
+    trace_id: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.decode_tokens < 1:
             raise ValueError("decode_tokens must be positive")
+        if self.trace_id is None:
+            object.__setattr__(self, "trace_id", mint_trace_id())
         if self.prompt_ids is not None:
             ids = np.asarray(self.prompt_ids, dtype=np.int64)
             if ids.ndim != 1 or ids.size < 1:

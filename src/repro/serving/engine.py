@@ -14,6 +14,7 @@ a good policy approaches all-resident latency.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -157,7 +158,7 @@ class LiveEngineBase:
                  telemetry: Optional[Telemetry] = None,
                  monitor: Optional[RoutingHealthMonitor] = None,
                  executor=None, weight_format: str = "native",
-                 events=None, prefetch=None):
+                 events=None, prefetch=None, tracing=None, flight=None):
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
                              f"got {dispatch!r}")
@@ -171,6 +172,24 @@ class LiveEngineBase:
         self.executor = executor
         self.weight_format = weight_format
         self.events = events
+        # Request-scoped tracing + flight recording: accounting-only
+        # sidecars, like the prefetcher below — they never touch the model,
+        # so generated ids are bit-identical with them on or off.
+        self.tracing = tracing
+        self.flight = flight
+        if tracing is not None:
+            from ..telemetry.tracing import RequestTracer
+            if not isinstance(tracing, RequestTracer):
+                raise TypeError(f"tracing must be a RequestTracer, "
+                                f"got {type(tracing).__name__}")
+            tracing.bind(telemetry=telemetry, event_log=events)
+        if flight is not None:
+            from ..telemetry.flight import FlightRecorder
+            if not isinstance(flight, FlightRecorder):
+                raise TypeError(f"flight must be a FlightRecorder, "
+                                f"got {type(flight).__name__}")
+            if monitor is not None:
+                flight.watch(monitor)
         self.quantization_report = None
         # Online re-placement: swap_placement() stages a new placement;
         # the serve loops apply it at their next iteration boundary.
@@ -283,14 +302,14 @@ class LiveDecodeEngine(LiveEngineBase):
                  telemetry: Optional[Telemetry] = None,
                  monitor: Optional[RoutingHealthMonitor] = None,
                  executor=None, weight_format: str = "native",
-                 events=None, prefetch=None):
+                 events=None, prefetch=None, tracing=None, flight=None):
         if mode not in DECODE_MODES:
             raise ValueError(f"mode must be one of {DECODE_MODES}, "
                              f"got {mode!r}")
         super().__init__(model, dispatch=dispatch, telemetry=telemetry,
                          monitor=monitor, executor=executor,
                          weight_format=weight_format, events=events,
-                         prefetch=prefetch)
+                         prefetch=prefetch, tracing=tracing, flight=flight)
         self.mode = mode
 
     def decode(self, prompt_ids: np.ndarray, num_tokens: int,
@@ -326,21 +345,51 @@ class LiveDecodeEngine(LiveEngineBase):
         telemetry = self.telemetry
         monitor = self.monitor
         prefetcher = self.prefetcher
+        tracing = self.tracing
+        flight = self.flight
         num_experts = self.model.config.num_experts
         clock = telemetry.tracer.clock if telemetry is not None else None
+        # One decode() call is one traced request: the whole batch advances
+        # in lockstep, so each step is attributed to this stream with the
+        # step's token count as its weight.  The ledger runs on a virtual
+        # clock starting at 0 (wall-clock deltas from perf_counter), the
+        # same convention the continuous-batching engine uses.
+        steps = 0
+        now_v = 0.0
+        trace_ids: list = []
+        token_latencies: list = []
+        if tracing is not None:
+            ledger = tracing.admit(now=0.0, prompt_len=batch * prompt_len)
+            trace_ids = [ledger.trace_id]
 
-        def observe_routing() -> None:
-            if monitor is None and prefetcher is None:
+        def observe_routing(kind: str) -> None:
+            if monitor is None and prefetcher is None and tracing is None \
+                    and flight is None:
                 return
             records = self.model.routing_records()
+            report = prefetcher.observe_records(records) \
+                if prefetcher is not None else None
+            if tracing is not None and report is not None:
+                tracing.attribute_fetch(report)
+            if flight is not None:
+                counts = np.stack([record.access_counts(num_experts)
+                                   for record in records]) if records \
+                    else None
+                flight.observe(step=steps, kind=kind, time=now_v,
+                               counts=counts, active_slots=batch,
+                               placement=self.active_placement,
+                               trace_ids=trace_ids)
+            # Monitor last: a latched anomaly auto-dumps the flight ring,
+            # which must already hold this step's record.
             if monitor is not None:
                 monitor.observe_records(records, num_experts=num_experts)
-            if prefetcher is not None:
-                prefetcher.observe_records(records)
 
         with serving_flags(self.model), no_grad():
             self.apply_pending_placement()
             mark = clock.now() if clock is not None else 0.0
+            t0 = time.perf_counter() if tracing is not None else 0.0
+            if tracing is not None:
+                tracing.set_step([(trace_ids[0], batch * prompt_len)])
             if mode == "cached":
                 caches = self.model.new_kv_caches(batch,
                                                   max_len=total_len)
@@ -349,6 +398,10 @@ class LiveDecodeEngine(LiveEngineBase):
             else:
                 logits = self.model(ids[:, :prompt_len])
             ids[:, prompt_len] = np.argmax(logits.data[:, -1, :], axis=-1)
+            if tracing is not None:
+                elapsed = time.perf_counter() - t0
+                now_v += elapsed
+                tracing.prefill(trace_ids, now_v - elapsed, elapsed)
             if telemetry is not None:
                 now = clock.now()
                 telemetry.record_span(
@@ -358,12 +411,16 @@ class LiveDecodeEngine(LiveEngineBase):
                 telemetry.histogram(
                     "serve.prefill_latency_s").observe(now - mark)
                 mark = now
-            observe_routing()
+            observe_routing("prefill")
+            steps += 1
             for token in range(1, num_tokens):
                 # Token steps are the decode loop's iteration boundary:
                 # a staged placement swap lands here, between steps.
                 self.apply_pending_placement()
                 position = prompt_len + token
+                t0 = time.perf_counter() if tracing is not None else 0.0
+                if tracing is not None:
+                    tracing.set_step([(trace_ids[0], batch)])
                 if mode == "cached":
                     logits = self.model.forward_incremental(
                         ids[:, position - 1:position], caches)
@@ -371,6 +428,11 @@ class LiveDecodeEngine(LiveEngineBase):
                     logits = self.model(ids[:, :position])
                 ids[:, position] = np.argmax(logits.data[:, -1, :],
                                              axis=-1)
+                if tracing is not None:
+                    elapsed = time.perf_counter() - t0
+                    now_v += elapsed
+                    token_latencies.append(elapsed)
+                    tracing.decode_step(trace_ids, now_v - elapsed, elapsed)
                 if telemetry is not None:
                     now = clock.now()
                     telemetry.record_span(
@@ -380,7 +442,11 @@ class LiveDecodeEngine(LiveEngineBase):
                     telemetry.histogram(
                         "serve.token_latency_s").observe(now - mark)
                     mark = now
-                observe_routing()
+                observe_routing("decode")
+                steps += 1
+        if tracing is not None:
+            tracing.finish(trace_ids[0], now=now_v, reason="max_tokens",
+                           token_latencies=token_latencies)
         return ids[:, prompt_len:]
 
 

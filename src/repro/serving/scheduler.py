@@ -241,6 +241,17 @@ class ContinuousBatchingEngine(LiveEngineBase):
     ``serve.request_latency_s`` histograms plus ``serve.queue_depth`` and
     ``serve.active_slots`` gauges — scrapeable live through the
     Prometheus exporter while a long run is in flight.
+
+    With ``tracing=`` (a :class:`~repro.telemetry.tracing.RequestTracer`),
+    every request's ``trace_id`` is propagated admission → prefill →
+    ragged decode → eviction into a per-request cost ledger: ragged step
+    costs split across co-resident slots by token share, prefill stalls
+    charged to the slots they delayed, prefetch/dispatch bytes attributed
+    per request.  With ``flight=`` (a :class:`~repro.telemetry.flight.
+    FlightRecorder`), every engine step appends a ring record (routing
+    counts, queue depth, per-slot cursors, co-resident trace ids) and a
+    monitor anomaly auto-dumps the post-mortem bundle.  Both are
+    accounting-only: generated ids are bit-identical on or off.
     """
 
     def __init__(self, model: MoETransformer, max_slots: int = 8,
@@ -252,14 +263,14 @@ class ContinuousBatchingEngine(LiveEngineBase):
                  eos_token_id: Optional[int] = None,
                  admission: str = "fcfs",
                  max_len: Optional[int] = None,
-                 prefetch=None):
+                 prefetch=None, tracing=None, flight=None):
         if admission not in ADMISSION_POLICIES:
             raise ValueError(f"admission must be one of "
                              f"{ADMISSION_POLICIES}, got {admission!r}")
         super().__init__(model, dispatch=dispatch, telemetry=telemetry,
                          monitor=monitor, executor=executor,
                          weight_format=weight_format, events=events,
-                         prefetch=prefetch)
+                         prefetch=prefetch, tracing=tracing, flight=flight)
         self.max_slots = int(max_slots)
         self.eos_token_id = eos_token_id
         self.admission = admission
@@ -323,16 +334,45 @@ class ContinuousBatchingEngine(LiveEngineBase):
         telemetry = self.telemetry
         monitor = self.monitor
         prefetcher = self.prefetcher
+        tracing = self.tracing
+        flight = self.flight
         num_experts = self.model.config.num_experts
 
-        def observe_routing() -> None:
-            if monitor is None and prefetcher is None:
+        engine_steps = 0  # every forward: prefill groups + decode steps
+
+        def observe_routing(kind: str) -> None:
+            nonlocal engine_steps
+            if monitor is None and prefetcher is None and tracing is None \
+                    and flight is None:
                 return
+            engine_steps += 1
             records = self.model.routing_records()
+            report = prefetcher.observe_records(records) \
+                if prefetcher is not None else None
+            if tracing is not None and report is not None:
+                # The report's byte fields are exactly what the prefetcher
+                # just added to the serve.prefetch_* counters; attributing
+                # the same amounts keeps ledger sums tiling the aggregates.
+                tracing.attribute_fetch(report)
+            if flight is not None:
+                counts = np.stack([record.access_counts(num_experts)
+                                   for record in records]) if records \
+                    else None
+                occupied = sorted(active)
+                flight.observe(
+                    step=engine_steps - 1, kind=kind, time=now, counts=counts,
+                    queue_depth=len(queue), active_slots=len(active),
+                    placement=self.active_placement,
+                    slot_positions={
+                        slot: int(self.caches[0].positions[slot])
+                        for slot in occupied},
+                    trace_ids=[active[slot].request.trace_id
+                               for slot in occupied])
+            # The monitor goes last: an anomaly latching on this step
+            # auto-dumps the flight ring, which must already contain the
+            # step's record for the bundle to cover the anomaly.
             if monitor is not None:
                 monitor.observe_records(records, num_experts=num_experts)
-            if prefetcher is not None:
-                prefetcher.observe_records(records)
 
         def set_gauges() -> None:
             if telemetry is not None:
@@ -356,6 +396,9 @@ class ContinuousBatchingEngine(LiveEngineBase):
             if telemetry is not None:
                 telemetry.histogram("serve.request_latency_s").observe(
                     outcome.latency)
+            if tracing is not None:
+                tracing.finish(request.trace_id, now=now, reason=reason,
+                               token_latencies=state.token_latencies)
             self._emit("request_evict", now, request_id=request.request_id,
                        slot=state.slot, finish_reason=reason,
                        tokens=len(state.token_ids),
@@ -395,6 +438,9 @@ class ContinuousBatchingEngine(LiveEngineBase):
                     if telemetry is not None:
                         telemetry.histogram("serve.queueing_s").observe(
                             now - request.arrival_time)
+                    if tracing is not None:
+                        tracing.admit(request, now=now,
+                                      queue_depth=len(queue))
                     self._emit("request_admit", now,
                                request_id=request.request_id, slot=slot,
                                queue_depth=len(queue))
@@ -414,6 +460,12 @@ class ContinuousBatchingEngine(LiveEngineBase):
                                         for s in group])
                     slots = np.asarray([s.slot for s in group],
                                        dtype=np.int64)
+                    if tracing is not None:
+                        # This forward serves `length` prompt tokens per
+                        # group member; anything it fetches/dispatches is
+                        # split across the group by that (equal) share.
+                        tracing.set_step([(s.request.trace_id, length)
+                                          for s in group])
                     t0 = time.perf_counter()
                     logits = self.model.forward_slots(prompts, self.caches,
                                                       slots)
@@ -429,7 +481,20 @@ class ContinuousBatchingEngine(LiveEngineBase):
                                 now - state.request.arrival_time)
                             telemetry.histogram(
                                 "serve.token_latency_s").observe(elapsed)
-                    observe_routing()
+                    if tracing is not None:
+                        tracing.prefill(
+                            [s.request.trace_id for s in group],
+                            now - elapsed, elapsed)
+                        # Requests that already hold a token (mid-decode,
+                        # or prefilled in an earlier group this iteration)
+                        # sat through this prefill without advancing —
+                        # that wait is their stall, not their decode time.
+                        group_ids = {id(s) for s in group}
+                        tracing.stall(
+                            [s.request.trace_id for s in active.values()
+                             if id(s) not in group_ids and s.token_ids],
+                            elapsed)
+                    observe_routing("prefill")
 
                 # prefill may already satisfy a request (EOS on the first
                 # token, or a 1-token budget)
@@ -449,6 +514,11 @@ class ContinuousBatchingEngine(LiveEngineBase):
                                         dtype=np.int64)
                     slots = np.asarray([s.slot for s in deciding],
                                        dtype=np.int64)
+                    if tracing is not None:
+                        # One token per co-resident slot: the ragged
+                        # step's shared costs split by equal token share.
+                        tracing.set_step([(s.request.trace_id, 1)
+                                          for s in deciding])
                     t0 = time.perf_counter()
                     logits = self.model.forward_slots(tokens, self.caches,
                                                       slots)
@@ -462,7 +532,11 @@ class ContinuousBatchingEngine(LiveEngineBase):
                         if telemetry is not None:
                             telemetry.histogram(
                                 "serve.token_latency_s").observe(elapsed)
-                    observe_routing()
+                    if tracing is not None:
+                        tracing.decode_step(
+                            [s.request.trace_id for s in deciding],
+                            now - elapsed, elapsed)
+                    observe_routing("decode")
                     for state in deciding:
                         if self.eos_token_id is not None and \
                                 state.last_token == self.eos_token_id:

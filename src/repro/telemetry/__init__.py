@@ -24,10 +24,20 @@ into append-only JSONL :class:`EventLog` files, brackets runs with
 :class:`RunManifest` documents, and is servable live over HTTP via
 :class:`MetricsServer` (``/metrics`` + ``/healthz``).
 
+The **request tracing layer** adds the per-request dimension (also
+threaded, as ``tracing=`` / ``flight=``): :class:`RequestTracer` keeps one
+:class:`RequestLedger` per request (queueing/TTFT/stall breakdown plus
+attributed prefetch/dispatch bytes split by token share), feeds a JSONL
+:class:`TraceSink` and :class:`SLOTracker` burn-rate gauges, and the
+:class:`FlightRecorder` keeps a bounded ring of per-step records that
+auto-dumps a post-mortem bundle when the monitor latches an anomaly (also
+on demand via ``/debug/flight``).  See ``docs/OBSERVABILITY.md`` § Request
+tracing & post-mortems.
+
 The subsystem is dependency-free (standard library only, numpy for the
 monitor math) and inert by default: with ``telemetry=None`` /
-``monitor=None`` every instrumented hot path pays exactly one attribute
-check.
+``monitor=None`` / ``tracing=None`` / ``flight=None`` every instrumented
+hot path pays exactly one attribute check.
 """
 
 from .clock import Clock, SimulatedClock, WallClock
@@ -35,14 +45,19 @@ from .events import (EventLog, MonitorEvent, RunManifest, current_git_rev,
                      read_events)
 from .export import (chrome_trace_events, summary_table, write_chrome_trace,
                      write_csv)
+from .flight import BUNDLE_FILES, FlightRecord, FlightRecorder, read_bundle
 from .instruments import Counter, Gauge, Histogram, labels_key
 from .monitor import (ANOMALY_KINDS, MonitorThresholds, RoutingHealthMonitor,
                       load_imbalance, locality_hit_rate)
-from .promexport import CONTENT_TYPE, format_value, metric_name, \
-    prometheus_text
+from .promexport import CONTENT_TYPE, format_value, label_name, \
+    metric_name, prometheus_text
 from .registry import Registry, SpanRecord
 from .server import MetricsServer
 from .tracer import Telemetry, Tracer
+from .tracing import (ATTRIBUTION_FIELDS, RequestLedger, RequestTracer,
+                      SLOConfig, SLOTracker, TraceSink, mint_trace_id,
+                      read_trace, render_top_requests, render_waterfall,
+                      split_by_weight)
 
 __all__ = [
     "Telemetry", "Tracer",
@@ -56,5 +71,11 @@ __all__ = [
     "MonitorEvent", "EventLog", "read_events", "RunManifest",
     "current_git_rev",
     "prometheus_text", "CONTENT_TYPE", "format_value", "metric_name",
+    "label_name",
     "MetricsServer",
+    "RequestTracer", "RequestLedger", "TraceSink", "read_trace",
+    "mint_trace_id", "split_by_weight", "ATTRIBUTION_FIELDS",
+    "SLOConfig", "SLOTracker",
+    "render_waterfall", "render_top_requests",
+    "FlightRecorder", "FlightRecord", "read_bundle", "BUNDLE_FILES",
 ]

@@ -21,6 +21,7 @@ monitoring & events.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import threading
 import time
@@ -77,13 +78,32 @@ class EventLog:
     :meth:`emit` appends one line and flushes, so a tailing reader (or
     ``tools/obs_dashboard.py --follow``) sees events as they happen and a
     crash loses at most the line being written.
+
+    ``max_bytes=`` caps the on-disk size for long serving runs: when
+    appending the next line would push the file past the cap, the file is
+    rotated to ``<path>.1`` (replacing any previous rotation) and a fresh
+    file is started, so disk usage stays under ``2 * max_bytes`` and the
+    most recent events are always retained.  :func:`read_events` reads the
+    rotated pair in order.  Rotation happens on whole-line boundaries only,
+    so the rotated file is always fully parseable.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
         self.path = str(path) if path is not None else None
+        self.max_bytes = max_bytes
         self.events: List[MonitorEvent] = []
         self._lock = threading.Lock()
         self._handle = None
+        self._size = 0
+        self.rotations = 0
+
+    def _open(self) -> None:
+        self._size = os.path.getsize(self.path) if os.path.exists(
+            self.path) else 0
+        self._handle = open(self.path, "a", encoding="utf-8")
 
     def emit(self, event: MonitorEvent) -> MonitorEvent:
         """Record one event (appends + flushes when backed by a file)."""
@@ -91,10 +111,19 @@ class EventLog:
             self.events.append(event)
             if self.path is not None:
                 if self._handle is None:
+                    self._open()
+                line = json.dumps(event.to_dict()) + "\n"
+                nbytes = len(line.encode("utf-8"))
+                if (self.max_bytes is not None and self._size > 0
+                        and self._size + nbytes > self.max_bytes):
+                    self._handle.close()
+                    os.replace(self.path, self.path + ".1")
+                    self.rotations += 1
+                    self._size = 0
                     self._handle = open(self.path, "a", encoding="utf-8")
-                json.dump(event.to_dict(), self._handle)
-                self._handle.write("\n")
+                self._handle.write(line)
                 self._handle.flush()
+                self._size += nbytes
         return event
 
     def close(self) -> None:
@@ -122,12 +151,23 @@ def read_events(path) -> List[MonitorEvent]:
     tolerated (a writer killed mid-append leaves exactly one truncated line
     at the tail); malformed content anywhere else raises ``ValueError`` —
     that is corruption, not a crash artifact.
+
+    When the log was written with ``max_bytes=`` rotation, the rotated
+    ``<path>.1`` file is read first so events come back oldest-first across
+    the pair.  Rotation only ever moves whole lines, so the truncated-tail
+    tolerance still applies exactly once, to the live file's last line.
     """
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = [line for line in handle.read().split("\n")
-                     if line.strip()]
-    except FileNotFoundError:
+    lines: List[str] = []
+    found = False
+    for part in (str(path) + ".1", str(path)):
+        try:
+            with open(part, "r", encoding="utf-8") as handle:
+                lines.extend(line for line in handle.read().split("\n")
+                             if line.strip())
+            found = True
+        except FileNotFoundError:
+            continue
+    if not found:
         return []
     events: List[MonitorEvent] = []
     for index, line in enumerate(lines):

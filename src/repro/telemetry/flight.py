@@ -1,0 +1,301 @@
+"""Anomaly flight recorder: a bounded ring of per-step serving records.
+
+When :class:`~repro.telemetry.monitor.RoutingHealthMonitor` latches
+``locality_collapse``, the step-level evidence — which experts were hot,
+how deep the queue was, which requests were co-resident — is already
+gone from the aggregate counters.  The :class:`FlightRecorder` keeps the
+last ``capacity`` per-step records (routing counts, active placement id,
+queue depth, per-slot KV cursors, co-resident trace ids) in memory, plus
+its own :class:`~repro.placement.replan.RoutingWindow`, and writes a
+post-mortem bundle to disk:
+
+* **automatically** when a watched monitor latches any anomaly kind
+  (:meth:`FlightRecorder.watch` registers a monitor listener; the dump
+  happens outside the monitor's lock, per its listener contract), and
+* **on demand** via :meth:`FlightRecorder.dump` or the
+  :class:`~repro.telemetry.server.MetricsServer` ``/debug/flight``
+  endpoint.
+
+A bundle directory contains ``ring.jsonl`` (oldest→newest records),
+``events.jsonl`` (the monitor's recent events), ``routing_window.json``
+(the window's total counts), ``manifest.json`` (the
+:class:`~repro.telemetry.events.RunManifest`, when one is attached), and
+``summary.json`` tying them together.  Everything is accounting-only and
+thread-safe; like the other telemetry hooks, ``flight=None`` keeps the
+engines' hot paths on a single attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .monitor import ANOMALY_KINDS
+
+#: Files every dumped flight bundle contains.
+BUNDLE_FILES = ("summary.json", "ring.jsonl", "events.jsonl",
+                "routing_window.json")
+
+
+@dataclass
+class FlightRecord:
+    """One per-step snapshot of the serving loop's observable state."""
+
+    step: int
+    kind: str = "decode"
+    time: float = 0.0
+    queue_depth: int = 0
+    active_slots: int = 0
+    placement: Optional[str] = None
+    counts: Optional[List[List[int]]] = None
+    slot_positions: Dict[str, int] = field(default_factory=dict)
+    trace_ids: List[str] = field(default_factory=list)
+    labels: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict (one ``ring.jsonl`` line)."""
+        return {
+            "step": self.step, "kind": self.kind, "time": self.time,
+            "queue_depth": self.queue_depth,
+            "active_slots": self.active_slots, "placement": self.placement,
+            "counts": self.counts, "slot_positions": self.slot_positions,
+            "trace_ids": self.trace_ids, "labels": self.labels,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlightRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def _placement_id(placement: Any) -> Optional[str]:
+    """A short human-readable id for the active placement object."""
+    if placement is None:
+        return None
+    if isinstance(placement, str):
+        return placement
+    name = getattr(placement, "name", "") or type(placement).__name__
+    assignment = getattr(placement, "assignment", None)
+    if assignment is not None:
+        import zlib
+        digest = zlib.crc32(np.ascontiguousarray(assignment).tobytes())
+        return f"{name}#{digest:08x}"
+    return str(name)
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`FlightRecord` with anomaly auto-dump.
+
+    ``capacity`` bounds the ring (oldest records fall off);
+    ``dump_dir=`` enables writing bundles (auto-dump is a no-op without
+    it); ``window_size`` sizes the recorder's own routing window, the
+    bundle's "what was routing doing lately" snapshot.  Attach a monitor
+    with :meth:`watch` to auto-dump once per latched anomaly entry.
+    """
+
+    def __init__(self, capacity: int = 256, dump_dir=None,
+                 window_size: int = 64, manifest=None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.manifest = manifest
+        # Imported here, not at module top: placement.replan itself pulls
+        # telemetry submodules, and the recorder must stay importable from
+        # a partially-initialized repro.telemetry package.
+        from ..placement.replan import RoutingWindow
+        self.window = RoutingWindow(maxlen=window_size)
+        self._records: List[FlightRecord] = []
+        self._lock = threading.Lock()
+        self._monitors: List[Any] = []
+        self._dumps = 0
+        self.last_dump: Optional[Path] = None
+        self.steps_observed = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def observe(self, *, step: int, kind: str = "decode", time: float = 0.0,
+                counts=None, queue_depth: int = 0, active_slots: int = 0,
+                placement=None, slot_positions: Optional[Dict] = None,
+                trace_ids: Optional[Sequence[str]] = None,
+                **labels: Any) -> FlightRecord:
+        """Append one per-step record (and feed the routing window)."""
+        counts_list = None
+        if counts is not None:
+            counts_arr = np.asarray(counts)
+            self.window.observe(counts_arr)
+            counts_list = counts_arr.astype(int).tolist()
+        record = FlightRecord(
+            step=int(step), kind=str(kind), time=float(time),
+            queue_depth=int(queue_depth), active_slots=int(active_slots),
+            placement=_placement_id(placement),
+            counts=counts_list,
+            slot_positions={str(k): int(v)
+                            for k, v in (slot_positions or {}).items()},
+            trace_ids=[str(t) for t in (trace_ids or [])],
+            labels=dict(labels))
+        with self._lock:
+            self._records.append(record)
+            if len(self._records) > self.capacity:
+                del self._records[:len(self._records) - self.capacity]
+            self.steps_observed += 1
+        return record
+
+    @property
+    def records(self) -> List[FlightRecord]:
+        """Current ring contents, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------ #
+    # monitor integration
+    # ------------------------------------------------------------------ #
+    def watch(self, monitor) -> None:
+        """Auto-dump a bundle whenever ``monitor`` latches an anomaly.
+
+        Registers a listener on the
+        :class:`~repro.telemetry.monitor.RoutingHealthMonitor`; the
+        monitor calls listeners outside its lock, so the dump cannot
+        deadlock against a concurrent ``observe_step``.  Idempotent per
+        monitor.
+        """
+        if monitor in self._monitors:
+            return
+        self._monitors.append(monitor)
+        monitor.add_listener(
+            lambda counts, step, emitted, _monitor=monitor:
+            self._on_monitor_step(_monitor, step, emitted))
+
+    def _on_monitor_step(self, monitor, step, emitted) -> None:
+        anomalies = [event for event in emitted
+                     if event.kind in ANOMALY_KINDS]
+        if not anomalies or self.dump_dir is None:
+            return
+        reason = "+".join(sorted({event.kind for event in anomalies}))
+        self.dump(reason=reason, step=step, monitor=monitor)
+
+    # ------------------------------------------------------------------ #
+    # bundling
+    # ------------------------------------------------------------------ #
+    def bundle(self, reason: str = "manual", step: Optional[int] = None,
+               monitor=None) -> Dict[str, Any]:
+        """The post-mortem payload as one JSON-serializable dict."""
+        monitor = monitor if monitor is not None else (
+            self._monitors[0] if self._monitors else None)
+        records = self.records
+        window_total = None
+        if len(self.window) > 0:
+            window_total = self.window.total().astype(int).tolist()
+        events: List[Dict[str, Any]] = []
+        active_anomalies: List[str] = []
+        manifest = self.manifest
+        if monitor is not None:
+            active_anomalies = sorted(
+                event.kind for event in monitor.active_anomalies)
+            events = [event.to_dict() for event in monitor.events[-50:]]
+            if manifest is None:
+                manifest = getattr(monitor, "manifest", None)
+        return {
+            "reason": reason,
+            "step": step,
+            "created_unix": time.time(),
+            "ring_capacity": self.capacity,
+            "steps_observed": self.steps_observed,
+            "active_anomalies": active_anomalies,
+            "records": [record.to_dict() for record in records],
+            "routing_window": {
+                "steps": len(self.window),
+                "total_counts": window_total,
+            },
+            "events": events,
+            "manifest": manifest.to_dict() if manifest is not None else None,
+        }
+
+    def dump(self, reason: str = "manual", step: Optional[int] = None,
+             monitor=None) -> Path:
+        """Write one bundle directory under ``dump_dir`` and return it.
+
+        Layout: ``flight-<n>-<reason>/`` containing ``summary.json``
+        (bundle minus the bulky record/event arrays), ``ring.jsonl``,
+        ``events.jsonl``, ``routing_window.json``, and ``manifest.json``
+        when a manifest is attached.
+        """
+        if self.dump_dir is None:
+            raise RuntimeError(
+                "FlightRecorder has no dump_dir; pass dump_dir= to enable "
+                "bundle dumps")
+        payload = self.bundle(reason=reason, step=step, monitor=monitor)
+        with self._lock:
+            self._dumps += 1
+            index = self._dumps
+        safe_reason = "".join(c if c.isalnum() or c in "-_+" else "_"
+                              for c in reason) or "manual"
+        target = self.dump_dir / f"flight-{index:03d}-{safe_reason}"
+        target.mkdir(parents=True, exist_ok=True)
+        with open(target / "ring.jsonl", "w", encoding="utf-8") as handle:
+            for record in payload["records"]:
+                json.dump(record, handle)
+                handle.write("\n")
+        with open(target / "events.jsonl", "w", encoding="utf-8") as handle:
+            for event in payload["events"]:
+                json.dump(event, handle)
+                handle.write("\n")
+        with open(target / "routing_window.json", "w",
+                  encoding="utf-8") as handle:
+            json.dump(payload["routing_window"], handle, indent=2)
+        if payload["manifest"] is not None:
+            with open(target / "manifest.json", "w",
+                      encoding="utf-8") as handle:
+                json.dump(payload["manifest"], handle, indent=2)
+        summary = {key: value for key, value in payload.items()
+                   if key not in ("records", "events", "manifest")}
+        summary["num_records"] = len(payload["records"])
+        summary["num_events"] = len(payload["events"])
+        summary["has_manifest"] = payload["manifest"] is not None
+        with open(target / "summary.json", "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        self.last_dump = target
+        return target
+
+
+def read_bundle(path) -> Dict[str, Any]:
+    """Read a dumped flight-bundle directory back into one dict.
+
+    Returns ``{"summary": ..., "records": [...], "events": [...],
+    "routing_window": ..., "manifest": ...}`` — the shapes
+    :meth:`FlightRecorder.bundle` produced.
+    """
+    path = Path(path)
+    with open(path / "summary.json", "r", encoding="utf-8") as handle:
+        summary = json.load(handle)
+    records = []
+    with open(path / "ring.jsonl", "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                records.append(json.loads(line))
+    events = []
+    with open(path / "events.jsonl", "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                events.append(json.loads(line))
+    with open(path / "routing_window.json", "r",
+              encoding="utf-8") as handle:
+        routing_window = json.load(handle)
+    manifest = None
+    manifest_path = path / "manifest.json"
+    if manifest_path.exists():
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    return {"summary": summary, "records": records, "events": events,
+            "routing_window": routing_window, "manifest": manifest}

@@ -39,7 +39,23 @@ def metric_name(name: str) -> str:
     return sanitized
 
 
+def label_name(name: str) -> str:
+    """Sanitize a label key into a legal Prometheus label name.
+
+    Label names must match ``[a-zA-Z_][a-zA-Z0-9_]*``; a digit-leading or
+    empty key (``{"0th": ...}``) would otherwise render an unscrapable
+    page, so those get the same underscore prefix :func:`metric_name`
+    applies.
+    """
+    sanitized = _LABEL_SANITIZER.sub("_", str(name))
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 def _label_value(value: Any) -> str:
+    # Escaping order matters: backslashes first, or the escapes' own
+    # backslashes would be doubled again (exposition format 0.0.4).
     text = str(value)
     return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
@@ -47,7 +63,7 @@ def _label_value(value: Any) -> str:
 def _labels_text(labels: Dict[str, Any]) -> str:
     if not labels:
         return ""
-    parts = [f'{_LABEL_SANITIZER.sub("_", str(k))}="{_label_value(v)}"'
+    parts = [f'{label_name(k)}="{_label_value(v)}"'
              for k, v in sorted(labels.items())]
     return "{" + ",".join(parts) + "}"
 

@@ -10,9 +10,17 @@ LiveDecodeEngine` decode loop can be scraped *while it runs*:
 * ``GET /healthz`` — run-health JSON.  ``200 {"status": "ok"}`` while the
   attached :class:`~repro.telemetry.monitor.RoutingHealthMonitor` (if any)
   has no latched anomaly; ``503`` with the active anomaly kinds otherwise.
+* ``GET /debug/flight`` — the attached
+  :class:`~repro.telemetry.flight.FlightRecorder`'s current post-mortem
+  bundle as JSON (``404`` when no recorder is attached).
+  ``/debug/flight?dump=1`` additionally writes the bundle to the
+  recorder's dump directory and reports the path (``409`` when the
+  recorder has no ``dump_dir``).
 
-Everything is read-only and thread-safe: the registry and monitor guard
-their own state, and the handler never blocks the producing thread.
+Everything is read-only (the on-demand flight dump writes only to the
+recorder's own dump directory) and thread-safe: the registry, monitor,
+and recorder guard their own state, and the handler never blocks the
+producing thread.
 """
 
 from __future__ import annotations
@@ -47,6 +55,13 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = owner.health()
             body = (json.dumps(payload) + "\n").encode("utf-8")
             self._respond(status, "application/json", body)
+        elif path == "/debug/flight":
+            query = self.path.partition("?")[2]
+            dump = any(part in ("dump=1", "dump=true")
+                       for part in query.split("&"))
+            status, payload = owner.flight_bundle(dump=dump)
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            self._respond(status, "application/json", body)
         else:
             self._respond(404, "text/plain; charset=utf-8", b"not found\n")
 
@@ -65,8 +80,9 @@ class MetricsServer:
 
     def __init__(self, *sources: Union[Registry, Any],
                  monitor: Optional[RoutingHealthMonitor] = None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 flight=None, host: str = "127.0.0.1", port: int = 0):
         self.monitor = monitor
+        self.flight = flight
         self.registries: List[Registry] = []
         for source in sources:
             if isinstance(source, RoutingHealthMonitor):
@@ -102,6 +118,21 @@ class MetricsServer:
             "active_anomalies": [event.kind for event in active],
         }
         return (200 if not active else 503), payload
+
+    def flight_bundle(self, dump: bool = False) -> tuple:
+        """(HTTP status, JSON payload) for ``/debug/flight``."""
+        if self.flight is None:
+            return 404, {"error": "no flight recorder attached"}
+        payload = self.flight.bundle(reason="on_demand",
+                                     monitor=self.monitor)
+        if dump:
+            if self.flight.dump_dir is None:
+                return 409, {"error": "flight recorder has no dump_dir",
+                             "bundle": payload}
+            target = self.flight.dump(reason="on_demand",
+                                      monitor=self.monitor)
+            payload["dumped_to"] = str(target)
+        return 200, payload
 
     # ------------------------------------------------------------------ #
     def start(self) -> "MetricsServer":

@@ -89,6 +89,70 @@ class TestEventLog:
             read_events(path)
 
 
+class TestEventLogRotation:
+    def _emit_n(self, log, n, kind="tick"):
+        for index in range(n):
+            log.emit(MonitorEvent(kind=f"{kind}-{index}", time_unix=1.0))
+
+    def test_rotation_caps_primary_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=256) as log:
+            self._emit_n(log, 40)
+            assert log.rotations > 0
+        import os
+        # Each file stays under the cap plus at most one whole line; the
+        # pair together bounds disk at ~2x max_bytes.
+        assert os.path.getsize(path) <= 256
+        assert os.path.getsize(str(path) + ".1") <= 256
+
+    def test_read_events_merges_rotated_pair_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=256) as log:
+            self._emit_n(log, 40)
+        kinds = [e.kind for e in read_events(path)]
+        # The rolled file holds the older prefix; the pair reads back as
+        # one contiguous, ordered tail of the stream.
+        assert kinds == [f"tick-{i}" for i in range(40 - len(kinds), 40)]
+        assert len(kinds) > 2  # both files contribute
+
+    def test_rotation_never_splits_a_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=128) as log:
+            self._emit_n(log, 30)
+        for part in (str(path) + ".1", str(path)):
+            for line in open(part, encoding="utf-8"):
+                if line.strip():
+                    json.loads(line)
+
+    def test_second_rotation_drops_oldest(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=128) as log:
+            self._emit_n(log, 60)
+            assert log.rotations >= 2
+        kinds = [e.kind for e in read_events(path)]
+        assert kinds[-1] == "tick-59"
+        assert "tick-0" not in kinds
+
+    def test_oversized_single_event_still_written(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=64) as log:
+            log.emit(MonitorEvent(kind="big", time_unix=1.0,
+                                  labels={"blob": "x" * 200}))
+        events = read_events(path)
+        assert [e.kind for e in events] == ["big"]
+
+    def test_no_cap_never_rotates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            self._emit_n(log, 50)
+            assert log.rotations == 0
+        assert len(read_events(path)) == 50
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(max_bytes=0)
+
+
 class TestRunManifest:
     def test_auto_run_id_and_start_time(self):
         manifest = RunManifest()

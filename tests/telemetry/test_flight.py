@@ -1,0 +1,182 @@
+"""Tests for the anomaly flight recorder: ring, auto-dump, bundles."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.placement import Placement
+from repro.telemetry import (BUNDLE_FILES, FlightRecord, FlightRecorder,
+                             MonitorThresholds, RoutingHealthMonitor,
+                             RunManifest, read_bundle)
+from repro.telemetry.flight import _placement_id
+
+
+class TestFlightRecord:
+    def test_dict_round_trip(self):
+        record = FlightRecord(step=7, kind="prefill", time=1.5,
+                              queue_depth=3, active_slots=2,
+                              placement="greedy#deadbeef",
+                              counts=[[4, 0], [1, 3]],
+                              slot_positions={"0": 12, "3": 5},
+                              trace_ids=["t-a", "t-b"],
+                              labels={"note": "x"})
+        assert FlightRecord.from_dict(record.to_dict()) == record
+
+    def test_json_serializable(self):
+        line = json.dumps(FlightRecord(step=0).to_dict())
+        assert FlightRecord.from_dict(json.loads(line)).step == 0
+
+
+class TestPlacementId:
+    def test_none_and_string_passthrough(self):
+        assert _placement_id(None) is None
+        assert _placement_id("already-an-id") == "already-an-id"
+
+    def test_placement_hashed_stably(self):
+        placement = Placement(np.array([[0, 1], [1, 0]]), name="greedy")
+        first = _placement_id(placement)
+        assert first.startswith("greedy#")
+        assert first == _placement_id(placement)
+        # A different assignment must produce a different id.
+        other = Placement(np.array([[1, 0], [0, 1]]), name="greedy")
+        assert _placement_id(other) != first
+
+
+class TestRing:
+    def test_capacity_bounds_ring(self):
+        recorder = FlightRecorder(capacity=4)
+        for step in range(10):
+            recorder.observe(step=step)
+        assert len(recorder) == 4
+        assert [r.step for r in recorder.records] == [6, 7, 8, 9]
+        assert recorder.steps_observed == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_observe_normalizes_payload(self):
+        recorder = FlightRecorder(capacity=8)
+        record = recorder.observe(
+            step=3, kind="prefill", time=2.0,
+            counts=np.array([[2, 0], [0, 1]]), queue_depth=5,
+            active_slots=2,
+            placement=Placement(np.array([[0, 1], [1, 0]]), name="p"),
+            slot_positions={0: np.int64(7)}, trace_ids=["t-a"],
+            extra="label")
+        assert record.counts == [[2, 0], [0, 1]]
+        assert record.slot_positions == {"0": 7}
+        assert record.placement.startswith("p#")
+        assert record.labels == {"extra": "label"}
+        # Routing counts also feed the recorder's own window snapshot.
+        assert len(recorder.window) == 1
+
+    def test_records_without_counts_skip_window(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.observe(step=0)
+        assert len(recorder.window) == 0
+
+
+class TestAutoDump:
+    def _collapsing_monitor(self):
+        # All routing mass lands on worker 1's experts while worker 0 is
+        # "local": hit rate 0 < 0.5 latches locality_collapse on step 2.
+        placement = Placement(np.array([[0, 1], [0, 1]]))
+        monitor = RoutingHealthMonitor(
+            placement=placement,
+            thresholds=MonitorThresholds(min_locality_hit_rate=0.5))
+        return monitor
+
+    def test_anomaly_triggers_dump(self, tmp_path):
+        monitor = self._collapsing_monitor()
+        recorder = FlightRecorder(capacity=16, dump_dir=tmp_path)
+        recorder.watch(monitor)
+        local = np.array([[9, 1], [9, 1]])
+        remote = np.array([[1, 9], [1, 9]])
+        for step, counts in enumerate([local, local, remote]):
+            recorder.observe(step=step, counts=counts)
+            monitor.observe_step(counts, step=step)
+        assert recorder.last_dump is not None
+        assert recorder.last_dump.name.endswith("locality_collapse")
+        for filename in BUNDLE_FILES:
+            assert (recorder.last_dump / filename).exists()
+        bundle = read_bundle(recorder.last_dump)
+        assert bundle["summary"]["reason"] == "locality_collapse"
+        assert bundle["summary"]["step"] == 2
+        assert "locality_collapse" in bundle["summary"]["active_anomalies"]
+        # The ring covers the anomaly step.
+        assert any(r["step"] == 2 for r in bundle["records"])
+        assert any(e["kind"] == "locality_collapse"
+                   for e in bundle["events"])
+
+    def test_latched_anomaly_dumps_once(self, tmp_path):
+        monitor = self._collapsing_monitor()
+        recorder = FlightRecorder(capacity=16, dump_dir=tmp_path)
+        recorder.watch(monitor)
+        remote = np.array([[1, 9], [1, 9]])
+        for step in range(4):
+            monitor.observe_step(remote, step=step)
+        # The monitor latches once, so exactly one bundle lands on disk.
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_watch_idempotent(self, tmp_path):
+        monitor = self._collapsing_monitor()
+        recorder = FlightRecorder(capacity=16, dump_dir=tmp_path)
+        recorder.watch(monitor)
+        recorder.watch(monitor)
+        monitor.observe_step(np.array([[1, 9], [1, 9]]), step=0)
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_no_dump_dir_is_silent(self):
+        monitor = self._collapsing_monitor()
+        recorder = FlightRecorder(capacity=16)
+        recorder.watch(monitor)
+        monitor.observe_step(np.array([[1, 9], [1, 9]]), step=0)
+        assert recorder.last_dump is None
+
+
+class TestBundle:
+    def test_manual_dump_requires_dump_dir(self):
+        with pytest.raises(RuntimeError, match="dump_dir"):
+            FlightRecorder(capacity=4).dump()
+
+    def test_manifest_included_when_attached(self, tmp_path):
+        manifest = RunManifest(run_id="run-flight", seed=3)
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path,
+                                  manifest=manifest)
+        recorder.observe(step=0)
+        target = recorder.dump(reason="manual")
+        bundle = read_bundle(target)
+        assert bundle["manifest"]["run_id"] == "run-flight"
+        assert bundle["summary"]["has_manifest"]
+
+    def test_dump_names_are_sequential_and_safe(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        first = recorder.dump(reason="load_spike+locality_collapse")
+        second = recorder.dump(reason="weird/reason with spaces")
+        assert first.name == "flight-001-load_spike+locality_collapse"
+        assert second.name.startswith("flight-002-")
+        assert "/" not in second.name and " " not in second.name
+
+    def test_bundle_payload_shape(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.observe(step=0, counts=np.array([[3, 1]]))
+        payload = recorder.bundle(reason="manual")
+        assert payload["ring_capacity"] == 4
+        assert payload["steps_observed"] == 1
+        assert payload["routing_window"] == {"steps": 1,
+                                             "total_counts": [[3, 1]]}
+        assert payload["records"][0]["step"] == 0
+        assert payload["manifest"] is None
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_monitor_manifest_used_as_fallback(self, tmp_path):
+        monitor = RoutingHealthMonitor()
+        monitor.begin_run(run_id="run-monitor")
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        recorder.watch(monitor)
+        payload = recorder.bundle()
+        assert payload["manifest"]["run_id"] == "run-monitor"

@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.telemetry import (CONTENT_TYPE, Registry, Telemetry, format_value,
-                             metric_name, prometheus_text)
+                             label_name, metric_name, prometheus_text)
 
 
 class TestNames:
@@ -20,6 +20,30 @@ class TestNames:
 
     def test_colons_survive(self):
         assert metric_name("ns:metric") == "ns:metric"
+
+
+class TestLabelNames:
+    # Label names follow [a-zA-Z_][a-zA-Z0-9_]* — stricter than metric
+    # names (no colons) — per exposition format 0.0.4.
+    def test_dots_and_dashes_become_underscores(self):
+        assert label_name("slot.index") == "slot_index"
+        assert label_name("x-node") == "x_node"
+
+    def test_leading_digit_prefixed(self):
+        assert label_name("95th") == "_95th"
+
+    def test_empty_becomes_underscore(self):
+        assert label_name("") == "_"
+
+    def test_colons_not_allowed_in_label_names(self):
+        assert ":" not in label_name("ns:label")
+
+    def test_rendered_label_names_are_sanitized(self):
+        tel = Telemetry()
+        tel.gauge("g", **{"9worker": 1, "layer.id": 0}).set(2.0)
+        text = prometheus_text(tel)
+        assert '_9worker="1"' in text
+        assert 'layer_id="0"' in text
 
 
 class TestValues:

@@ -1,4 +1,4 @@
-"""Tests for the /metrics + /healthz HTTP endpoint."""
+"""Tests for the /metrics + /healthz + /debug/flight HTTP endpoints."""
 
 from __future__ import annotations
 
@@ -12,8 +12,9 @@ import pytest
 
 from repro.models import build_model, nano_moe
 from repro.serving import LiveDecodeEngine
-from repro.telemetry import (MetricsServer, MonitorThresholds, Registry,
-                             RoutingHealthMonitor, Telemetry)
+from repro.telemetry import (FlightRecorder, MetricsServer,
+                             MonitorThresholds, Registry,
+                             RoutingHealthMonitor, Telemetry, read_bundle)
 
 
 def _get(url: str):
@@ -85,6 +86,99 @@ class TestEndpoints:
             monitor.observe_step(np.array([[10, 10]]), step=2)
             status, _ = _get(f"{server.url}/healthz")
             assert status == 200
+
+
+class TestFlightEndpoint:
+    def test_404_without_recorder(self):
+        with MetricsServer(Telemetry()) as server:
+            status, body = _get(f"{server.url}/debug/flight")
+            assert status == 404
+            assert "no flight recorder" in json.loads(body)["error"]
+
+    def test_bundle_served_inline(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.observe(step=0, counts=np.array([[3, 1]]), queue_depth=2)
+        with MetricsServer(Telemetry(), flight=recorder) as server:
+            status, body = _get(f"{server.url}/debug/flight")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["reason"] == "on_demand"
+        assert payload["records"][0]["queue_depth"] == 2
+        assert "dumped_to" not in payload
+
+    def test_dump_1_writes_bundle(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=tmp_path)
+        recorder.observe(step=0)
+        with MetricsServer(Telemetry(), flight=recorder) as server:
+            status, body = _get(f"{server.url}/debug/flight?dump=1")
+        assert status == 200
+        payload = json.loads(body)
+        target = payload["dumped_to"]
+        assert read_bundle(target)["summary"]["reason"] == "on_demand"
+
+    def test_dump_without_dump_dir_is_409(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.observe(step=0)
+        with MetricsServer(Telemetry(), flight=recorder) as server:
+            status, body = _get(f"{server.url}/debug/flight?dump=true")
+        assert status == 409
+        payload = json.loads(body)
+        assert "dump_dir" in payload["error"]
+
+    def test_monitor_context_included(self):
+        monitor = RoutingHealthMonitor(
+            thresholds=MonitorThresholds(max_load_imbalance=4.0))
+        monitor.observe_step(np.array([[99, 1]]), step=0)
+        recorder = FlightRecorder(capacity=8)
+        with MetricsServer(monitor, flight=recorder) as server:
+            status, body = _get(f"{server.url}/debug/flight")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["active_anomalies"] == ["load_spike"]
+        assert any(e["kind"] == "load_spike" for e in payload["events"])
+
+    def test_concurrent_scrape_and_flight_dump(self, tmp_path):
+        """Parallel /metrics, /debug/flight?dump=1 and observes stay sane."""
+        telemetry = Telemetry()
+        telemetry.gauge("serve.queue_depth").set(1.0)
+        recorder = FlightRecorder(capacity=32, dump_dir=tmp_path)
+        errors = []
+        stop = threading.Event()
+
+        def feed():
+            step = 0
+            while not stop.is_set():
+                recorder.observe(step=step, counts=np.array([[2, 1]]))
+                step += 1
+
+        with MetricsServer(telemetry, flight=recorder) as server:
+            feeder = threading.Thread(target=feed)
+            feeder.start()
+
+            def hit(path):
+                try:
+                    for _ in range(10):
+                        status, _ = _get(f"{server.url}{path}")
+                        if status != 200:
+                            errors.append((path, status))
+                except Exception as error:  # pragma: no cover - diagnostics
+                    errors.append((path, repr(error)))
+
+            threads = [threading.Thread(target=hit, args=(path,))
+                       for path in ("/metrics", "/debug/flight",
+                                    "/debug/flight?dump=1") * 2]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stop.set()
+            feeder.join()
+        assert errors == []
+        # Every dump produced a distinct, readable bundle directory.
+        bundles = sorted(tmp_path.iterdir())
+        assert len(bundles) == 20
+        for bundle in bundles:
+            assert read_bundle(bundle)["summary"]["reason"] == "on_demand"
 
 
 class TestLiveScrape:

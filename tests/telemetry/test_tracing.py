@@ -1,0 +1,363 @@
+"""Tests for request-scoped tracing: ledgers, tracer, SLOs, sinks."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (ATTRIBUTION_FIELDS, EventLog, RequestLedger,
+                             RequestTracer, SLOConfig, SLOTracker, Telemetry,
+                             TraceSink, mint_trace_id, read_trace,
+                             render_top_requests, render_waterfall,
+                             split_by_weight)
+
+
+class TestMintTraceId:
+    def test_shape(self):
+        trace_id = mint_trace_id()
+        assert trace_id.startswith("t-")
+        assert len(trace_id) == 14
+        int(trace_id[2:], 16)
+
+    def test_unique(self):
+        assert len({mint_trace_id() for _ in range(256)}) == 256
+
+
+class TestSplitByWeight:
+    def test_proportional(self):
+        shares = dict(split_by_weight(100.0, [("a", 3.0), ("b", 1.0)]))
+        assert shares["a"] == pytest.approx(75.0)
+        assert shares["b"] == pytest.approx(25.0)
+
+    def test_shares_sum_exactly_in_order(self):
+        # The tiling invariant: accumulating the returned shares in order
+        # reproduces the amount bit-for-bit, even for awkward floats.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            amount = float(rng.uniform(1e-6, 1e9))
+            weights = [(i, float(w))
+                       for i, w in enumerate(rng.uniform(0.01, 10.0,
+                                                         rng.integers(1, 9)))]
+            running = 0.0
+            for _, share in split_by_weight(amount, weights):
+                running += share
+            assert running == amount
+
+    def test_zero_total_weight_attributes_nothing(self):
+        assert split_by_weight(10.0, [("a", 0.0)]) == []
+        assert split_by_weight(10.0, []) == []
+
+    def test_zero_amount_attributes_nothing(self):
+        assert split_by_weight(0.0, [("a", 1.0)]) == []
+
+
+class TestRequestLedger:
+    def test_derived_times(self):
+        ledger = RequestLedger(trace_id="t-1", arrival_time=1.0,
+                               admit_time=1.5, first_token_time=2.0,
+                               finish_time=3.0)
+        assert ledger.queueing_s == pytest.approx(0.5)
+        assert ledger.ttft_s == pytest.approx(1.0)
+        assert ledger.latency_s == pytest.approx(2.0)
+
+    def test_derived_times_none_in_flight(self):
+        ledger = RequestLedger(trace_id="t-1")
+        assert ledger.ttft_s is None
+        assert ledger.latency_s is None
+
+    def test_dict_round_trip(self):
+        ledger = RequestLedger(trace_id="t-1", request_id=4, tokens=8,
+                               prefill_s=0.25, dispatch_bytes=128.0,
+                               finish_time=2.0, finish_reason="max_tokens")
+        payload = ledger.to_dict()
+        # Derived fields ride along for downstream consumers...
+        assert "ttft_s" in payload and "latency_s" in payload
+        # ...and are dropped again on the way back in.
+        assert RequestLedger.from_dict(payload) == ledger
+
+    def test_attributed_bytes(self):
+        ledger = RequestLedger(trace_id="t-1", dispatch_bytes=10.0,
+                               prefetch_hidden_bytes=4.0,
+                               prefetch_unhidden_bytes=2.0,
+                               prefetch_remote_bytes=99.0)
+        # Remote bytes overlap the hidden/un-hidden split, so they are
+        # reported separately, not double-counted into the total.
+        assert ledger.attributed_bytes == pytest.approx(16.0)
+
+
+class TestTraceSink:
+    def test_in_memory_only(self):
+        sink = TraceSink()
+        sink.write({"trace_id": "t-1"})
+        assert len(sink) == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            sink.write(RequestLedger(trace_id="t-1", request_id=0,
+                                     tokens=4).to_dict())
+            sink.write(RequestLedger(trace_id="t-2", request_id=1,
+                                     dispatch_bytes=64.0).to_dict())
+        back = read_trace(path)
+        assert [led.trace_id for led in back] == ["t-1", "t-2"]
+        assert back[1].dispatch_bytes == 64.0
+
+    def test_missing_file_returns_empty(self, tmp_path):
+        assert read_trace(tmp_path / "never.jsonl") == []
+
+    def test_truncated_last_line_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            sink.write({"trace_id": "t-kept"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"trace_id": "t-lo')
+        assert [led.trace_id for led in read_trace(path)] == ["t-kept"]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"trace_id": "t-1"}\nnot json\n'
+                        '{"trace_id": "t-3"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+
+
+class TestRequestTracer:
+    def test_lifecycle_single_request(self):
+        tracer = RequestTracer()
+        ledger = tracer.admit(now=0.0, queue_depth=0, prompt_len=16)
+        tid = ledger.trace_id
+        tracer.prefill([tid], 0.0, 0.5)
+        tracer.decode_step([tid], 0.5, 0.1)
+        tracer.decode_step([tid], 0.6, 0.1)
+        done = tracer.finish(tid, now=0.7, reason="max_tokens")
+        assert done is ledger
+        assert ledger.tokens == 3 and ledger.steps == 3
+        assert ledger.prefill_s == pytest.approx(0.5)
+        assert ledger.decode_s == pytest.approx(0.2)
+        assert ledger.ttft_s == pytest.approx(0.5)
+        assert ledger.finish_reason == "max_tokens"
+        assert tracer.ledgers == [ledger]
+
+    def test_admit_pulls_request_fields(self):
+        from repro.serving import Request
+        request = Request(7, 1.5, 4, prompt_ids=np.arange(8))
+        tracer = RequestTracer()
+        ledger = tracer.admit(request, now=2.0, queue_depth=3)
+        assert ledger.trace_id == request.trace_id
+        assert ledger.request_id == 7
+        assert ledger.arrival_time == 1.5
+        assert ledger.prompt_len == 8
+        assert ledger.queue_depth_at_admit == 3
+        assert ledger.queueing_s == pytest.approx(0.5)
+
+    def test_double_admit_rejected(self):
+        tracer = RequestTracer()
+        ledger = tracer.admit(now=0.0)
+        with pytest.raises(ValueError, match="already active"):
+            tracer.admit(trace_id=ledger.trace_id)
+
+    def test_stall_accumulates(self):
+        tracer = RequestTracer()
+        tid = tracer.admit(now=0.0).trace_id
+        tracer.stall([tid], 0.25)
+        tracer.stall([tid], 0.25)
+        assert tracer.ledger(tid).decode_stall_s == pytest.approx(0.5)
+
+    def test_attribute_splits_by_token_share(self):
+        tracer = RequestTracer()
+        a = tracer.admit(now=0.0).trace_id
+        b = tracer.admit(now=0.0).trace_id
+        tracer.set_step([(a, 3.0), (b, 1.0)])
+        tracer.attribute("dispatch_bytes", 100.0)
+        assert tracer.ledger(a).dispatch_bytes == pytest.approx(75.0)
+        assert tracer.ledger(b).dispatch_bytes == pytest.approx(25.0)
+        assert tracer.totals["dispatch_bytes"] == 100.0
+
+    def test_attribute_unknown_field_rejected(self):
+        tracer = RequestTracer()
+        with pytest.raises(ValueError, match="unknown attribution field"):
+            tracer.attribute("kv_bytes", 1.0)
+
+    def test_attribution_tiles_mirror(self):
+        # Many random steps over a churning co-residency set: the fsum of
+        # the per-ledger shares must land within float-summation-order
+        # noise of the mirrored totals, for every field.
+        rng = np.random.default_rng(3)
+        tracer = RequestTracer()
+        ids = [tracer.admit(now=0.0).trace_id for _ in range(6)]
+        for _ in range(400):
+            live = [t for t in ids if rng.random() < 0.8] or ids[:1]
+            tracer.set_step([(t, float(rng.integers(1, 64))) for t in live])
+            for fieldname in ATTRIBUTION_FIELDS:
+                tracer.attribute(fieldname, float(rng.uniform(0, 1e6)))
+        for fieldname in ATTRIBUTION_FIELDS:
+            mirror = tracer.totals[fieldname]
+            assert abs(tracer.attribution_residual(fieldname)) \
+                <= 1e-9 * mirror
+            assert tracer.attributed_total(fieldname) \
+                == pytest.approx(mirror, rel=1e-12)
+
+    def test_finish_feeds_sink(self):
+        sink = TraceSink()
+        tracer = RequestTracer(sink=sink)
+        tid = tracer.admit(now=0.0).trace_id
+        tracer.finish(tid, now=1.0, reason="eos")
+        assert len(sink) == 1
+        assert sink.records[0]["trace_id"] == tid
+        assert sink.records[0]["finish_reason"] == "eos"
+
+    def test_finish_unknown_trace_is_noop(self):
+        assert RequestTracer().finish("t-missing", now=0.0,
+                                      reason="eos") is None
+
+    def test_spans_land_on_request_track(self):
+        telemetry = Telemetry()
+        tracer = RequestTracer(telemetry=telemetry)
+        tid = tracer.admit(now=0.0, request_id=5).trace_id
+        tracer.prefill([tid], 0.0, 0.5)
+        tracer.decode_step([tid], 0.5, 0.1)
+        tracer.finish(tid, now=0.6, reason="max_tokens")
+        spans = [s for s in telemetry.spans if s.track == "req-5"]
+        assert {s.name for s in spans} == {"trace.prefill",
+                                          "trace.decode_step",
+                                          "trace.queue", "trace.request"}
+        assert all(s.labels["trace_id"] == tid for s in spans)
+
+    def test_bind_late_attaches_telemetry(self):
+        telemetry = Telemetry()
+        tracer = RequestTracer(slo=SLOConfig(ttft_s=1.0))
+        tracer.bind(telemetry=telemetry)
+        assert tracer.telemetry is telemetry
+        assert tracer.slo.telemetry is telemetry
+        # First non-None source wins; a second bind must not clobber it.
+        tracer.bind(telemetry=Telemetry())
+        assert tracer.telemetry is telemetry
+
+    def test_slo_config_builds_tracker(self):
+        tracer = RequestTracer(slo=SLOConfig(ttft_s=1.0))
+        assert isinstance(tracer.slo, SLOTracker)
+        with pytest.raises(TypeError, match="SLOConfig or SLOTracker"):
+            RequestTracer(slo=0.5)
+
+    def test_top_requests(self):
+        tracer = RequestTracer()
+        ids = [tracer.admit(now=0.0).trace_id for _ in range(3)]
+        for index, tid in enumerate(ids):
+            tracer.set_step([(tid, 1.0)])
+            tracer.attribute("dispatch_bytes", float(index * 100))
+        top = tracer.top_requests(k=2, key="dispatch_bytes")
+        assert [led.trace_id for led in top] == [ids[2], ids[1]]
+
+
+class TestSLOTracker:
+    def _finished(self, ttft):
+        return RequestLedger(trace_id=mint_trace_id(), arrival_time=0.0,
+                             admit_time=0.0, first_token_time=ttft,
+                             finish_time=ttft + 1.0, finish_reason="eos")
+
+    def test_good_requests_keep_burn_zero(self):
+        tracker = SLOTracker(SLOConfig(ttft_s=1.0, min_requests=2))
+        for _ in range(4):
+            assert tracker.observe(self._finished(0.5))
+        assert tracker.burn_rate("any") == 0.0
+        assert tracker.good_fraction == 1.0
+        assert not tracker.burning
+
+    def test_burn_rate_math(self):
+        # 2 bad of 4 over a 0.99 target: burn = 0.5 / 0.01 = 50.
+        tracker = SLOTracker(SLOConfig(ttft_s=1.0, target=0.99, window=4))
+        for ttft in (0.5, 2.0, 0.5, 2.0):
+            tracker.observe(self._finished(ttft))
+        assert tracker.burn_rate("ttft") == pytest.approx(50.0)
+        assert tracker.burn_rate("any") == pytest.approx(50.0)
+        assert tracker.burn_rate("token_latency") == 0.0
+        assert tracker.good_fraction == pytest.approx(0.5)
+
+    def test_token_latency_slo_uses_p95(self):
+        tracker = SLOTracker(SLOConfig(token_latency_s=0.1))
+        good = tracker.observe(self._finished(0.5),
+                               token_latencies=[0.01] * 20)
+        assert good
+        bad = tracker.observe(self._finished(0.5),
+                              token_latencies=[0.01] * 2 + [0.5] * 18)
+        assert not bad
+        assert tracker.burn_rate("token_latency") > 0.0
+
+    def test_latches_once_and_recovers(self):
+        log = EventLog()
+        tracker = SLOTracker(SLOConfig(ttft_s=1.0, target=0.5, window=4,
+                                       min_requests=4, max_burn_rate=1.0),
+                             event_log=log)
+        for _ in range(4):
+            tracker.observe(self._finished(5.0))
+        assert tracker.burning
+        # Latched: further bad finishes must not re-fire the event.
+        tracker.observe(self._finished(5.0))
+        assert [e.kind for e in log.events] == ["slo_burn"]
+        assert log.events[0].severity == "critical"
+        for _ in range(4):
+            tracker.observe(self._finished(0.1))
+        assert not tracker.burning
+        assert [e.kind for e in log.events] == ["slo_burn",
+                                                "slo_burn.recovered"]
+
+    def test_publishes_gauges(self):
+        telemetry = Telemetry()
+        tracker = SLOTracker(SLOConfig(ttft_s=1.0), telemetry=telemetry)
+        tracker.observe(self._finished(2.0))
+        assert telemetry.gauge("serve.slo_burn_rate", slo="ttft").value > 0
+        assert telemetry.gauge("serve.slo_good_fraction").value == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SLOConfig(target=1.5)
+        with pytest.raises(ValueError):
+            SLOConfig(window=0)
+        with pytest.raises(ValueError):
+            SLOConfig(max_burn_rate=0.0)
+
+
+class TestRendering:
+    def _ledgers(self):
+        return [
+            RequestLedger(trace_id="t-aaa", request_id=0, arrival_time=0.0,
+                          admit_time=0.1, first_token_time=0.3, tokens=5,
+                          prefill_s=0.2, decode_s=0.5, decode_stall_s=0.1,
+                          finish_time=0.9, finish_reason="max_tokens",
+                          dispatch_bytes=512.0),
+            RequestLedger(trace_id="t-bbb", request_id=1, arrival_time=0.2,
+                          admit_time=0.2, first_token_time=0.5, tokens=3,
+                          prefill_s=0.3, decode_s=0.3, finish_time=1.1,
+                          finish_reason="eos",
+                          prefetch_unhidden_bytes=64.0),
+        ]
+
+    def test_waterfall_renders_all_finished(self):
+        text = render_waterfall(self._ledgers())
+        assert "req 0" in text and "req 1" in text
+        assert "=prefill" in text  # legend
+        for glyph in ("=", "#", "!"):
+            assert glyph in text
+
+    def test_waterfall_limit_keeps_slowest(self):
+        ledgers = self._ledgers()
+        text = render_waterfall(ledgers, limit=1)
+        # req 0 has latency 0.9, req 1 also 0.9 — tie broken by sort
+        # stability; only one row plus the legend must remain.
+        assert len(text.splitlines()) == 2
+
+    def test_waterfall_empty(self):
+        assert render_waterfall([]) == "(no finished requests)"
+        assert render_waterfall(
+            [RequestLedger(trace_id="t-x")]) == "(no finished requests)"
+
+    def test_top_requests_table(self):
+        text = render_top_requests(self._ledgers(), k=2)
+        lines = text.splitlines()
+        assert "request" in lines[0] and "bytes" in lines[0]
+        # req 0 carries more attributed bytes and must rank first.
+        assert lines[2].startswith("req 0")
+        assert "512" in lines[2]

@@ -68,6 +68,56 @@ class TestRender:
         assert all(len(line) <= 60 for line in text.splitlines())
 
 
+class TestRequestPanel:
+    def _sink(self, tmp_path):
+        from repro.telemetry.tracing import RequestLedger, TraceSink
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            for i, finish in enumerate((1.0, 2.0)):
+                sink.write(RequestLedger(
+                    trace_id=f"t-{i}", arrival_time=0.0, admit_time=0.1,
+                    first_token_time=0.4, finish_time=finish,
+                    finish_reason="max_tokens", tokens=4, steps=4,
+                    prefill_s=0.3, decode_s=finish - 0.4).to_dict())
+        return path
+
+    def test_panel_appended_after_events(self, tmp_path):
+        path = self._sink(tmp_path)
+        text = dash.render_dashboard(_events(), trace_path=str(path))
+        assert "slowest 5 requests" in text
+        assert "t-0" in text and "t-1" in text
+        # The panel sits below the event section.
+        assert text.index("t-0") > text.index("drift_violation")
+
+    def test_panel_with_empty_event_log(self, tmp_path):
+        path = self._sink(tmp_path)
+        text = dash.render_dashboard([], trace_path=str(path))
+        assert "(no events yet)" in text
+        assert "t-1" in text
+
+    def test_missing_trace_file_reports_empty(self, tmp_path):
+        text = dash.render_dashboard(_events(),
+                                     trace_path=str(tmp_path / "nope.jsonl"))
+        assert "(no finished requests in trace yet)" in text
+
+    def test_no_trace_path_no_panel(self):
+        assert "requests" not in dash.render_dashboard(_events())
+
+    def test_cli_trace_flag(self, tmp_path, capsys):
+        from repro.telemetry import EventLog
+        events_path = tmp_path / "events.jsonl"
+        with EventLog(events_path) as log:
+            for event in _events():
+                log.emit(event)
+        trace_path = self._sink(tmp_path)
+        assert dash.main([str(events_path), "--trace", str(trace_path),
+                          "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest 1 requests" in out
+        # Only the slowest request (t-1, 1.9 s) makes the panel.
+        assert "t-1" in out and "t-0" not in out
+
+
 class TestCli:
     def test_renders_file_once(self, tmp_path, capsys):
         from repro.telemetry import EventLog

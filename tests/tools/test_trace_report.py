@@ -1,0 +1,87 @@
+"""Tests for the per-request trace report CLI."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+from repro.telemetry.tracing import RequestLedger, TraceSink
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location(
+    "trace_report", _TOOLS / "trace_report.py")
+report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(report)
+
+
+def _ledger(trace_id, arrival, admit, first_token, finish, stall=0.0, **kw):
+    return RequestLedger(
+        trace_id=trace_id, arrival_time=arrival, admit_time=admit,
+        first_token_time=first_token, finish_time=finish,
+        finish_reason="max_tokens", tokens=8, steps=8,
+        prefill_s=first_token - admit, decode_s=finish - first_token,
+        decode_stall_s=stall, **kw)
+
+
+def _ledgers():
+    return [
+        _ledger("t-a", 0.0, 0.1, 0.3, 1.0, dispatch_bytes=100.0),
+        _ledger("t-b", 0.0, 0.5, 0.8, 2.0, stall=0.2,
+                prefetch_hidden_bytes=50.0),
+        _ledger("t-c", 0.2, 0.6, 0.9, 1.4, prefetch_unhidden_bytes=900.0,
+                cross_node_dispatch_bytes=40.0),
+    ]
+
+
+class TestRenderReport:
+    def test_report_has_all_three_sections(self):
+        text = report.render_report(_ledgers(), width=78)
+        # Summary line.
+        assert "requests: 3 (3 finished, 3 max_tokens)" in text
+        assert "attributed bytes: 1050" in text
+        # Waterfall rows with segment glyphs.
+        for trace_id in ("t-a", "t-b", "t-c"):
+            assert trace_id in text
+        assert "!" in text  # t-b's stall segment
+        # Top table ranked by the default key.
+        assert "top 5 by attributed_bytes:" in text
+        # The framing rules honour the requested width.
+        assert text.splitlines()[0] == "=" * 78
+
+    def test_sort_key_reorders_top_table(self):
+        text = report.render_report(_ledgers(), top=1,
+                                    sort="prefetch_unhidden_bytes")
+        table = text.split("top 1 by prefetch_unhidden_bytes:")[1]
+        assert "t-c" in table and "t-a" not in table
+
+    def test_slowest_limits_waterfall(self):
+        text = report.render_report(_ledgers(), slowest=1)
+        waterfall = text.split("top 5")[0]
+        # t-b is the slowest (2.0 s end-to-end); the others are elided
+        # from the waterfall but still counted in the summary.
+        assert "t-b" in waterfall
+        assert "requests: 3" in text
+
+    def test_empty_trace(self):
+        text = report.render_report([])
+        assert "(no requests in trace)" in text
+
+
+class TestCli:
+    def test_round_trips_a_trace_sink(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            for ledger in _ledgers():
+                sink.write(ledger.to_dict())
+        assert report.main([str(path), "--top", "2",
+                            "--sort", "dispatch_bytes"]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 3" in out
+        assert "top 2 by dispatch_bytes:" in out
+        assert "t-a" in out
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert report.main([str(path)]) == 0
+        assert "(no requests in trace)" in capsys.readouterr().out

@@ -164,6 +164,19 @@ CHECKS = {
         Check("headline.replication_applied", "exact"),
         Check("headline.speedup", "higher"),
     ),
+    # Request tracing: everything here is correctness, not wall clock —
+    # ids must be bit-identical with tracing enabled vs disabled on both
+    # live engines, per-request attributed bytes must tile the aggregate
+    # counters, and the measured disabled-tracing overhead must stay under
+    # the committed run's recorded ceiling (<2%).
+    "tracing": (
+        Check("tracing.ids_identical_live", "exact"),
+        Check("tracing.ids_identical_batch", "exact"),
+        Check("tracing.ledger_bytes_tile", "exact"),
+        Check("tracing.slo_tracked", "exact"),
+        Check("tracing.disabled_overhead", "limit",
+              baseline_path="tracing.max_overhead"),
+    ),
     "replacement": (
         Check("headline.applied", "exact"),
         Check("headline.cross_node_drop", "higher"),

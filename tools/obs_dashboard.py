@@ -10,10 +10,18 @@ sit beside a long fine-tune the way ``tail -f`` would — the reader
 tolerates a half-written final line, which is exactly the state a live
 append-only log is usually in.
 
+With ``--trace`` (a :class:`~repro.telemetry.tracing.TraceSink` JSONL
+file), a per-request panel is appended: the waterfall of the N slowest
+requests (``--slowest``), queueing / prefill / decode / stall segments on
+a shared timeline — the serving-side complement to the monitor's
+aggregate health view.
+
 Usage::
 
     PYTHONPATH=src python tools/obs_dashboard.py runs/events.jsonl
     PYTHONPATH=src python tools/obs_dashboard.py runs/events.jsonl --follow
+    PYTHONPATH=src python tools/obs_dashboard.py runs/events.jsonl \\
+        --trace runs/trace.jsonl --slowest 5
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import time
 from typing import Iterable, List, Optional
 
 from repro.telemetry import ANOMALY_KINDS, MonitorEvent, read_events
+from repro.telemetry.tracing import read_trace, render_waterfall
 
 SEVERITY_MARKS = {"info": " ", "warning": "!", "critical": "X"}
 RECOVERED_SUFFIX = ".recovered"
@@ -50,13 +59,36 @@ def _format_event(event: MonitorEvent, width: int) -> str:
     return line if len(line) <= width else line[:width - 1] + "…"
 
 
+def render_request_panel(trace_path: str, slowest: int = 5,
+                         width: int = 78) -> str:
+    """The per-request panel: waterfall of the N slowest traced requests."""
+    lines = [f" slowest {slowest} requests "
+             f"({trace_path})".ljust(width), "-" * width]
+    try:
+        ledgers = read_trace(trace_path)
+    except ValueError as error:
+        lines.append(f" (unreadable trace sink: {error})")
+        return "\n".join(lines)
+    if not ledgers:
+        lines.append(" (no finished requests in trace yet)")
+        return "\n".join(lines)
+    lines.append(render_waterfall(ledgers, width=width, limit=slowest))
+    return "\n".join(lines)
+
+
 def render_dashboard(events: List[MonitorEvent], last: int = 10,
-                     width: int = 78) -> str:
+                     width: int = 78, trace_path: Optional[str] = None,
+                     slowest: int = 5) -> str:
     """Render the dashboard for ``events`` (oldest first) as one string."""
     rule = "=" * width
     lines = [rule, "routing-health events".center(width), rule]
     if not events:
         lines.append(" (no events yet)")
+        if trace_path is not None:
+            lines.append(rule)
+            lines.append(render_request_panel(trace_path, slowest=slowest,
+                                              width=width))
+            lines.append(rule)
         return "\n".join(lines)
 
     run_id = next((e.labels.get("run_id") for e in events
@@ -78,6 +110,10 @@ def render_dashboard(events: List[MonitorEvent], last: int = 10,
     for event in events[-last:]:
         lines.append(_format_event(event, width))
     lines.append(rule)
+    if trace_path is not None:
+        lines.append(render_request_panel(trace_path, slowest=slowest,
+                                          width=width))
+        lines.append(rule)
     return "\n".join(lines)
 
 
@@ -90,6 +126,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="refresh period in seconds for --follow")
     parser.add_argument("--last", type=int, default=10,
                         help="how many trailing events to show")
+    parser.add_argument("--trace", default=None,
+                        help="JSONL trace sink for the per-request panel")
+    parser.add_argument("--slowest", type=int, default=5,
+                        help="requests shown in the per-request panel")
     args = parser.parse_args(argv)
 
     while True:
@@ -97,7 +137,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             events = read_events(args.path)
         except FileNotFoundError:
             events = []
-        frame = render_dashboard(events, last=args.last)
+        frame = render_dashboard(events, last=args.last,
+                                 trace_path=args.trace,
+                                 slowest=args.slowest)
         if args.follow:
             # ANSI clear + home keeps the frame in place like `watch`.
             sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")

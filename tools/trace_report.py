@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Per-request trace report over a JSONL trace sink.
+
+Renders the ledgers a :class:`~repro.telemetry.tracing.TraceSink` wrote
+(one finished request per line) as a terminal report:
+
+* a **waterfall** — one row per request on a shared timeline, queueing /
+  prefill / decode / decode-stall segments drawn with distinct glyphs,
+* a **top-K most-expensive-requests table** — attributed bytes (expert
+  prefetch + broker dispatch), un-hidden fetch bytes, cross-node bytes,
+  queueing and TTFT per request,
+* a **summary line** — request count, finish-reason mix, total attributed
+  bytes.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_report.py runs/trace.jsonl
+    PYTHONPATH=src python tools/trace_report.py runs/trace.jsonl \\
+        --top 10 --sort prefetch_unhidden_bytes --slowest 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.telemetry.tracing import (RequestLedger, read_trace,
+                                     render_top_requests, render_waterfall)
+
+SORT_KEYS = ("attributed_bytes", "dispatch_bytes",
+             "cross_node_dispatch_bytes", "prefetch_hidden_bytes",
+             "prefetch_unhidden_bytes", "prefetch_remote_bytes",
+             "decode_stall_s", "latency_s")
+
+
+def render_report(ledgers: List[RequestLedger], top: int = 5,
+                  sort: str = "attributed_bytes",
+                  slowest: Optional[int] = None, width: int = 78) -> str:
+    """The full report (waterfall + top table + summary) as one string."""
+    rule = "=" * width
+    lines = [rule, "per-request trace report".center(width), rule]
+    if not ledgers:
+        lines.append(" (no requests in trace)")
+        return "\n".join(lines)
+    finished = [led for led in ledgers if led.finish_time is not None]
+    reasons: dict = {}
+    for led in finished:
+        reasons[led.finish_reason] = reasons.get(led.finish_reason, 0) + 1
+    total_bytes = sum(led.attributed_bytes for led in ledgers)
+    lines.append(f" requests: {len(ledgers)} ({len(finished)} finished"
+                 + "".join(f", {count} {reason}"
+                           for reason, count in sorted(reasons.items()))
+                 + f")   attributed bytes: {total_bytes:.0f}")
+    lines.append("-" * width)
+    lines.append(render_waterfall(ledgers, width=width, limit=slowest))
+    lines.append("-" * width)
+    lines.append(f" top {top} by {sort}:")
+    lines.append(render_top_requests(ledgers, k=top, key=sort))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSONL trace sink to render")
+    parser.add_argument("--top", type=int, default=5,
+                        help="rows in the most-expensive-requests table")
+    parser.add_argument("--sort", choices=SORT_KEYS,
+                        default="attributed_bytes",
+                        help="cost column ranking the top table")
+    parser.add_argument("--slowest", type=int, default=None,
+                        help="waterfall only the N slowest requests "
+                             "(default: all)")
+    parser.add_argument("--width", type=int, default=78,
+                        help="report width in columns")
+    args = parser.parse_args(argv)
+
+    ledgers = read_trace(args.path)
+    print(render_report(ledgers, top=args.top, sort=args.sort,
+                        slowest=args.slowest, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
